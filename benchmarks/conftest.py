@@ -1,0 +1,31 @@
+"""Benchmark fixtures.
+
+Every figure/table benchmark regenerates its paper artifact through the
+experiment modules, printing the reproduced rows (run pytest with ``-s``
+to see them) and asserting the qualitative shape.  pytest-benchmark
+times the regeneration itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.env import ExperimentEnv
+
+
+@pytest.fixture(scope="session")
+def env() -> ExperimentEnv:
+    """The canonical paper environment, shared across benchmarks."""
+    return ExperimentEnv.paper_default(seed=7)
+
+
+@pytest.fixture(scope="session")
+def bench_samples() -> int:
+    """Monte-Carlo replays per evaluation point in benchmarks."""
+    return 80
+
+
+def emit(result) -> None:
+    """Print a reproduced table beneath the benchmark output."""
+    print()
+    print(result.format_table())

@@ -1,0 +1,44 @@
+"""Benches for the extension studies (beyond the paper's evaluation)."""
+
+from repro.experiments import ext_correlation, ext_semantics
+
+from .conftest import emit
+
+
+def test_ext_semantics(benchmark, env, bench_samples):
+    result = benchmark.pedantic(
+        ext_semantics.run,
+        args=(env,),
+        kwargs=dict(n_samples=bench_samples),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    rows = result.data["rows"]
+    for name in ("BT", "FT"):
+        for dl in ("loose", "tight"):
+            single = rows[f"{name}:{dl}:single-shot"]
+            persistent = rows[f"{name}:{dl}:persistent"]
+            # Persistent requests never pay more than abandoning to
+            # on-demand at the first reclaim...
+            assert persistent["cost"] <= single["cost"] + 0.05
+            # ...but cannot be faster than giving up and buying capacity.
+            assert persistent["time"] >= single["time"] - 0.05
+
+
+def test_ext_correlation(benchmark, env, bench_samples):
+    result = benchmark.pedantic(
+        ext_correlation.run,
+        args=(env,),
+        kwargs=dict(n_samples=bench_samples),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    rows = result.data["rows"]
+    rhos = sorted(rows)
+    # Full correlation wrecks the single-group plan but the type-diverse
+    # replicated plan keeps completing on spot.
+    assert rows[rhos[-1]]["single"] > rows[rhos[0]]["single"]
+    assert rows[rhos[-1]]["replicated_done"] >= 0.9
+    assert rows[rhos[-1]]["replicated"] < rows[rhos[-1]]["single"]

@@ -1,0 +1,19 @@
+"""Bench FIG1 — regenerate the spot-price-variation summary (Figure 1)."""
+
+from repro.experiments import fig1_price_variation
+
+from .conftest import emit
+
+
+def test_fig1(benchmark, env):
+    result = benchmark.pedantic(
+        fig1_price_variation.run, args=(env,), rounds=3, iterations=1
+    )
+    emit(result)
+    spiky = result.data["m1.medium@us-east-1a"]
+    calm = result.data["m1.medium@us-east-1b"]
+    # Figure 1's two observations: temporal swings in the busy zone,
+    # near-constant prices for the same type in the quiet zone.
+    assert spiky.max_price > 3 * spiky.min_price
+    assert calm.coefficient_of_variation < 0.2
+    assert spiky.coefficient_of_variation > calm.coefficient_of_variation

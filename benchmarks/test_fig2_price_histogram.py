@@ -1,0 +1,20 @@
+"""Bench FIG2 — regenerate the daily price-distribution stability (Figure 2)."""
+
+import numpy as np
+
+from repro.experiments import fig2_price_histogram
+
+from .conftest import emit
+
+
+def test_fig2(benchmark, env):
+    result = benchmark.pedantic(
+        fig2_price_histogram.run, args=(env,), rounds=3, iterations=1
+    )
+    emit(result)
+    tv = result.data["tv_matrix"]
+    off_diag = tv[np.triu_indices(tv.shape[0], 1)]
+    # The paper's conclusion: consecutive days have nearly the same price
+    # distribution, so recent history predicts the near future.
+    assert off_diag.max() < 0.4
+    assert off_diag.mean() < 0.2

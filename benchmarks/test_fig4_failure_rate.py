@@ -1,0 +1,19 @@
+"""Bench FIG4 — regenerate failure-rate / expected-price curves (Figure 4)."""
+
+import numpy as np
+
+from repro.experiments import fig4_failure_rate
+
+from .conftest import emit
+
+
+def test_fig4(benchmark, env):
+    result = benchmark.pedantic(
+        fig4_failure_rate.run, args=(env,), rounds=3, iterations=1
+    )
+    emit(result)
+    for curve in result.data["curves"].values():
+        # S(P) rises with the bid; f falls to ~0 at the historical max.
+        assert np.all(np.diff(curve["price"]) >= -1e-9)
+        assert curve["fail"][-1] < 0.05
+        assert curve["fail"][0] > curve["fail"][-1]

@@ -1,0 +1,50 @@
+"""Bench FIG5 — regenerate the headline cost comparison (Figure 5).
+
+The paper's central result: SOMPI cheapest everywhere, ~70% below
+On-demand on average; Marathe-Opt beats Marathe only when the deadline
+is loose; Marathe costs more than the baseline on the IO kernel.
+"""
+
+import numpy as np
+
+from repro.experiments import fig5_cost_comparison
+
+from .conftest import emit
+
+
+def test_fig5(benchmark, env, bench_samples):
+    result = benchmark.pedantic(
+        fig5_cost_comparison.run,
+        args=(env,),
+        kwargs=dict(n_samples=bench_samples),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    cells = result.data["normalized"]
+
+    # SOMPI wins every cell.
+    for cell in cells.values():
+        for other in ("On-demand", "Marathe", "Marathe-Opt"):
+            assert cell["SOMPI"] <= cell[other] + 0.02
+
+    # ~70% average saving vs On-demand (paper: 70%).
+    avg = np.mean([c["SOMPI"] / c["On-demand"] for c in cells.values()])
+    assert avg < 0.5
+
+    # Marathe > Baseline on the IO-intensive kernel.
+    assert cells["BTIO:loose"]["Marathe"] > 1.0
+
+    # Marathe-Opt differentiates from Marathe only under loose deadlines
+    # on the compute kernels.
+    assert cells["BT:loose"]["Marathe-Opt"] < cells["BT:loose"]["Marathe"] - 0.05
+    assert abs(cells["BT:tight"]["Marathe-Opt"] - cells["BT:tight"]["Marathe"]) < 0.15
+
+    # LAMMPS: savings shrink as the process count (and the communication
+    # fraction) grows, under the loose deadline.
+    assert (
+        cells["LAMMPS-p32:loose"]["SOMPI"] / cells["LAMMPS-p32:loose"]["On-demand"]
+        <= cells["LAMMPS-p128:loose"]["SOMPI"]
+        / cells["LAMMPS-p128:loose"]["On-demand"]
+        + 0.15
+    )

@@ -1,0 +1,27 @@
+"""Bench FIG6 — regenerate the naive-heuristics comparison (Figure 6)."""
+
+import numpy as np
+
+from repro.experiments import fig6_heuristics
+
+from .conftest import emit
+
+
+def test_fig6(benchmark, env, bench_samples):
+    result = benchmark.pedantic(
+        fig6_heuristics.run,
+        args=(env,),
+        kwargs=dict(n_samples=bench_samples),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    cells = result.data["normalized"]
+    # Naive spot use already beats On-demand in every category...
+    for cell in cells.values():
+        assert cell["Spot-Inf"] < cell["On-demand"]
+        assert cell["Spot-Avg"] < cell["On-demand"]
+    # ...but SOMPI beats both heuristics on average.
+    for other in ("Spot-Inf", "Spot-Avg"):
+        avg = np.mean([c["SOMPI"] / c[other] for c in cells.values()])
+        assert avg < 1.0

@@ -1,0 +1,26 @@
+"""Bench FIG7 — regenerate the cost-vs-deadline staircase (Figure 7)."""
+
+from repro.experiments import fig7_deadline_sweep
+
+from .conftest import emit
+
+
+def test_fig7(benchmark, env):
+    result = benchmark.pedantic(
+        fig7_deadline_sweep.run, args=(env,), rounds=1, iterations=1
+    )
+    emit(result)
+    curves = result.data["curves"]
+    # Cost is non-increasing as the deadline loosens, for every kernel.
+    for curve in curves.values():
+        c = curve["cost"]
+        assert all(b <= a + 1e-6 for a, b in zip(c, c[1:]))
+    # BT walks down from cc2.8xlarge to cheaper types (the paper's arrows).
+    bt_types = curves["BT"]["types"]
+    assert bt_types[0] == ["cc2.8xlarge"]
+    assert bt_types[-1] != bt_types[0]
+    # FT never leaves cc2.8xlarge: the fastest type is also the cheapest
+    # for communication-intensive kernels.
+    assert all(t == ["cc2.8xlarge"] for t in curves["FT"]["types"])
+    # BTIO steps down to the small-instance fleets.
+    assert curves["BTIO"]["types"][-1] in (["m1.small"], ["m1.medium"])

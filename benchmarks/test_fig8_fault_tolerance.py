@@ -1,0 +1,25 @@
+"""Bench FIG8 — regenerate the fault-tolerance ablations (Figure 8)."""
+
+from repro.experiments import fig8_fault_tolerance
+
+from .conftest import emit
+
+
+def test_fig8(benchmark, env, bench_samples):
+    result = benchmark.pedantic(
+        fig8_fault_tolerance.run,
+        args=(env,),
+        kwargs=dict(n_samples=bench_samples, n_adaptive_starts=8),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    raw = result.data["normalized"]
+    # Combining mechanisms beats no fault tolerance and replication-only
+    # by a wide margin under the loose deadline.
+    assert raw["loose:SOMPI"] < raw["loose:All-Unable"] * 0.9
+    assert raw["loose:SOMPI"] < raw["loose:w/o-CK"] * 0.95
+    # Replication alone buys almost nothing over no fault tolerance.
+    assert abs(raw["loose:w/o-CK"] - raw["loose:All-Unable"]) < 0.1
+    # All variants produce positive, sane costs.
+    assert all(0 < v < 2.0 for v in raw.values())

@@ -1,0 +1,49 @@
+"""Bench PARAM — regenerate the Section 5.2 parameter study."""
+
+from repro.experiments import param_study
+
+from .conftest import emit
+
+
+def test_slack(benchmark, env):
+    result = benchmark.pedantic(
+        param_study.run_slack,
+        args=(env,),
+        kwargs=dict(n_samples=60),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    # All slack settings produce feasible, far-below-baseline costs.
+    for row in result.rows:
+        assert 0.0 < row[1] < 1.0
+        assert row[2] <= 1.35  # normalised time stays near the deadline
+
+
+def test_kappa(benchmark, env):
+    result = benchmark.pedantic(
+        param_study.run_kappa, args=(env,), rounds=1, iterations=1
+    )
+    emit(result)
+    combos = result.data["combos"]
+    costs = result.data["costs"]
+    # The paper's overhead observation: the search space explodes with
+    # kappa while the cost curve flattens (diminishing returns).
+    assert combos[-1] > 100 * combos[0]
+    assert all(b <= a + 1e-9 for a, b in zip(costs, costs[1:]))
+
+
+def test_window(benchmark, env):
+    result = benchmark.pedantic(
+        param_study.run_window,
+        args=(env,),
+        kwargs=dict(n_starts=6),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    costs = result.data["costs"]
+    # A mid-sized window is never worse than the extremes by a large
+    # factor (the U-shape of the paper's T_m study).
+    mid = costs[len(costs) // 2]
+    assert mid <= max(costs) + 1e-9

@@ -1,0 +1,18 @@
+"""Bench RED — regenerate the Section 4.2.2 search-space reduction."""
+
+from repro.experiments import reduction
+
+from .conftest import emit
+
+
+def test_reduction(benchmark, env):
+    result = benchmark.pedantic(reduction.run, args=(env,), rounds=1, iterations=1)
+    emit(result)
+    counts = result.data["analytic"]
+    assert counts["naive"] / counts["dimension_reduced"] >= 1e3
+    assert counts["dimension_reduced"] / counts["log_search"] >= 1e3
+    log_best, log_evals = result.data["measured"]["log"]
+    uni_best, uni_evals = result.data["measured"]["uniform"]
+    # Orders of magnitude fewer evaluations at near-equal solution quality.
+    assert uni_evals / log_evals > 100
+    assert log_best <= uni_best * 1.10

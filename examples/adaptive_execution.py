@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Adaptive execution through a market regime change (Algorithm 1).
+
+The spot market's price distribution shifts mid-run: the previously
+cheap m1-family markets become expensive.  The adaptive executor
+re-learns its failure models every window and migrates; the w/o-MT
+ablation keeps its stale plan and pays for it.
+
+Run:  python examples/adaptive_execution.py
+"""
+
+import numpy as np
+
+from repro.execution.adaptive import AdaptiveExecutor
+from repro.experiments.env import ExperimentEnv
+from repro.experiments.fig8_fault_tolerance import drifting_history
+
+
+def narrate(label: str, result) -> None:
+    print(f"\n{label}: cost ${result.cost:.2f}, makespan {result.makespan:.1f} h, "
+          f"{'met' if result.met_deadline else 'MISSED'} deadline")
+    for w in result.windows:
+        print(
+            f"  window {w.index}: [{w.t0:7.1f}, {w.t1:7.1f}) h  "
+            f"progress {w.fraction_before:5.1%} -> {w.fraction_after:5.1%}  "
+            f"${w.cost:6.2f}  on {', '.join(w.used_groups)}"
+        )
+    if result.fallback_used:
+        print("  (finished on the on-demand fallback)")
+
+
+def main() -> None:
+    env = ExperimentEnv.paper_default(seed=7)
+    problem = env.problem("BT", deadline_factor=2.5)
+
+    rng = np.random.default_rng(42)
+    start = float(rng.uniform(env.train_end, env.train_end + 48.0))
+
+    # Find the markets a pre-shift plan picks, then turn exactly those
+    # hostile two hours into the run.
+    from repro.core.optimizer import SompiOptimizer, build_failure_models
+    from repro.market.history import SpotPriceHistory
+
+    windowed = SpotPriceHistory()
+    for key, trace in env.history.items():
+        windowed.add(key, trace.slice(start - env.config.window_hours, start))
+    plan0 = SompiOptimizer(
+        problem, build_failure_models(problem, windowed), env.config
+    ).plan()
+    keys0 = {problem.groups[g.group_index].key for g in plan0.decision.groups}
+    drift = drifting_history(env, drift_at=start + 2.0, inflate_keys=keys0)
+    print(
+        f"BT, deadline {problem.deadline:.1f} h, starting at t={start:.1f} h — "
+        f"at t={start + 2:.1f} h the market(s) {sorted(map(str, keys0))} "
+        "turn hostile"
+    )
+
+    adaptive = AdaptiveExecutor(
+        problem, drift, env.config, training_hours=env.config.window_hours
+    ).run(start)
+    narrate("SOMPI (adaptive, refreshing models)", adaptive)
+
+    frozen = AdaptiveExecutor(
+        problem,
+        drift,
+        env.config,
+        training_hours=env.config.window_hours,
+        refresh_models=False,
+    ).run(start)
+    narrate("w/o-MT (frozen models and decision)", frozen)
+
+    delta = frozen.cost / adaptive.cost - 1 if adaptive.cost > 0 else float("nan")
+    print(f"\nupdate maintenance is worth {delta:+.0%} on this run")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""BT — Block Tri-diagonal solver (compute-intensive).
+
+BT solves three sets of block-tridiagonal systems per iteration with a
+multi-partition decomposition; each rank exchanges cell faces with six
+neighbours per sweep.  Computation dominates: the paper groups BT with
+SP and LU as computation-intensive, where cheaper low-power instances
+win once the deadline allows.
+"""
+
+from __future__ import annotations
+
+from .base import WorkloadCategory
+from .npb import StructuredGridKernel
+
+
+class BT(StructuredGridKernel):
+    name = "BT"
+    category = WorkloadCategory.COMPUTE
+
+    ITERATIONS = 800
+    INSTR_GIGA_B = 100_000.0
+    P2P_BYTES_B = 72.0e9
+    MSGS_PER_ITER_PER_PROC = 6
+    MEMORY_GB_B = 45.0

@@ -1,0 +1,59 @@
+"""BTIO — BT with periodic solution output (IO-intensive).
+
+Identical solver to BT plus a full solution dump every ``IO_EVERY``
+iterations.  Aggregate disk bandwidth scales with the *number* of
+instances, so a 128-instance m1.small fleet out-writes a 4-instance
+cc2.8xlarge fleet by a wide margin — the paper's explanation for why
+Marathe (locked to cc2.8xlarge) costs *more* than the on-demand baseline
+on BTIO.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..mpi.communicator import RankHandle
+from ..mpi.profile import ApplicationProfile
+from .base import WorkloadCategory
+from .npb import volume_factor
+from .bt import BT
+
+
+class BTIO(BT):
+    name = "BTIO"
+    category = WorkloadCategory.IO
+
+    #: Dump the full solution every this many iterations.
+    IO_EVERY = 5
+    #: Bytes written per CLASS B dump (5 doubles per grid point, all ranks,
+    #: plus the verification read-back pass).
+    DUMP_BYTES_B = 3.0e9
+
+    def single_run_profile(self) -> ApplicationProfile:
+        base = super().single_run_profile()
+        vol = volume_factor(self.problem_class)
+        n_dumps = self.ITERATIONS // self.IO_EVERY
+        io_bytes = self.DUMP_BYTES_B * vol * n_dumps
+        return ApplicationProfile(
+            name=f"BTIO.{self.problem_class}",
+            n_processes=base.n_processes,
+            instr_giga=base.instr_giga,
+            p2p_bytes=base.p2p_bytes,
+            p2p_messages=base.p2p_messages,
+            collectives=base.collectives,
+            io_seq_bytes=io_bytes,
+            memory_gb_per_process=base.memory_gb_per_process,
+        )
+
+    def rank_program(
+        self, mpi: RankHandle, iterations: int = 3, scale: float = 1e-6
+    ) -> Generator[Any, Any, Any]:
+        """BT sweep plus a solution dump every IO_EVERY iterations."""
+        n = mpi.size
+        dump_bytes = self.DUMP_BYTES_B * scale / n
+        result = None
+        for it in range(iterations):
+            result = yield from super().rank_program(mpi, iterations=1, scale=scale)
+            if (it + 1) % self.IO_EVERY == 0 or it == iterations - 1:
+                yield from mpi.io(dump_bytes, sequential=True)
+        return result

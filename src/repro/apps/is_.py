@@ -1,0 +1,71 @@
+"""IS — Integer Sort (communication-intensive).
+
+Bucket sort of uniformly random keys: each iteration histograms local
+keys (cheap), allreduces the bucket counts, then redistributes every key
+to its bucket owner with an all-to-all-v.  Arithmetic is trivial; the
+exchange *is* the kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..mpi.communicator import RankHandle
+from ..mpi.profile import ApplicationProfile, CollectiveCounts
+from .base import MPIApplication, WorkloadCategory
+from .npb import IS_KEYS
+
+
+class IS(MPIApplication):
+    name = "IS"
+    category = WorkloadCategory.COMMUNICATION
+
+    ITERATIONS = 40
+    #: Exchanges per iteration (key redistribution + verification pass).
+    EXCHANGES_PER_ITER = 60
+    #: Instructions per key per iteration (histogram + rank computation).
+    INSTR_PER_KEY = 600.0
+    BYTES_PER_KEY = 4.0
+    MEMORY_GB_B = 8.0
+
+    def single_run_profile(self) -> ApplicationProfile:
+        keys = IS_KEYS[self.problem_class]
+        vol = keys / IS_KEYS["B"]
+        n = self.n_processes
+        keys_per_proc = keys / n
+        n_exchanges = self.ITERATIONS * self.EXCHANGES_PER_ITER
+        return ApplicationProfile(
+            name=f"IS.{self.problem_class}",
+            n_processes=n,
+            instr_giga=self.INSTR_PER_KEY * keys * self.ITERATIONS / 1e9,
+            collectives={
+                "alltoall": CollectiveCounts(
+                    keys_per_proc * self.BYTES_PER_KEY * 2.0 * n_exchanges,
+                    float(n_exchanges),
+                ),
+                "allreduce": CollectiveCounts(
+                    # bucket-count reduction: 1024 buckets x 4 bytes
+                    4096.0 * self.ITERATIONS,
+                    float(self.ITERATIONS),
+                ),
+            },
+            memory_gb_per_process=self.MEMORY_GB_B * vol / n,
+        )
+
+    def rank_program(
+        self, mpi: RankHandle, iterations: int = 3, scale: float = 1e-6
+    ) -> Generator[Any, Any, Any]:
+        """Bucket sort step: histogram, count reduction, redistribution."""
+        n = mpi.size
+        keys_per_proc = IS_KEYS[self.problem_class] * scale / n
+        work = self.INSTR_PER_KEY * keys_per_proc / 1e9
+        total = 0
+        for _ in range(iterations):
+            yield from mpi.compute(work)
+            counts = yield from mpi.allreduce(1, nbytes=4096.0)
+            outbox = [mpi.rank] * n
+            inbox = yield from mpi.alltoall(
+                outbox, nbytes=keys_per_proc * self.BYTES_PER_KEY
+            )
+            total = counts + sum(inbox)
+        return total

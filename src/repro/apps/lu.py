@@ -1,0 +1,22 @@
+"""LU — Lower-Upper Gauss-Seidel solver (compute-intensive).
+
+LU's wavefront (pipelined SSOR) sweeps send many *small* messages — the
+2x2 pencil decomposition trades volume for message count — so its
+network term is latency- rather than bandwidth-bound.
+"""
+
+from __future__ import annotations
+
+from .base import WorkloadCategory
+from .npb import StructuredGridKernel
+
+
+class LU(StructuredGridKernel):
+    name = "LU"
+    category = WorkloadCategory.COMPUTE
+
+    ITERATIONS = 1000
+    INSTR_GIGA_B = 96_000.0
+    P2P_BYTES_B = 32.0e9
+    MSGS_PER_ITER_PER_PROC = 16  # pipelined wavefront: many small messages
+    MEMORY_GB_B = 42.0

@@ -1,0 +1,22 @@
+"""SP — Scalar Penta-diagonal solver (compute-intensive).
+
+Same multi-partition structure as BT but with scalar penta-diagonal
+systems: twice the iterations, slightly less arithmetic per iteration,
+somewhat more halo traffic.
+"""
+
+from __future__ import annotations
+
+from .base import WorkloadCategory
+from .npb import StructuredGridKernel
+
+
+class SP(StructuredGridKernel):
+    name = "SP"
+    category = WorkloadCategory.COMPUTE
+
+    ITERATIONS = 1600
+    INSTR_GIGA_B = 88_000.0
+    P2P_BYTES_B = 96.0e9
+    MSGS_PER_ITER_PER_PROC = 6
+    MEMORY_GB_B = 40.0

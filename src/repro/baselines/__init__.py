@@ -1,0 +1,33 @@
+"""Comparison algorithms from the paper's evaluation (Section 5).
+
+* :mod:`~repro.baselines.ondemand_only` — **On-demand**: cheapest
+  deadline-feasible on-demand type, no spot at all.
+* :mod:`~repro.baselines.spot_naive` — **Spot-Inf** (bid $999, never
+  out-of-bid) and **Spot-Avg** (bid the historical mean), no fault
+  tolerance.
+* :mod:`~repro.baselines.marathe` — **Marathe** [30] (replicated
+  cc2.8xlarge across zones, on-demand-price bids, Young checkpoints) and
+  **Marathe-Opt** (the same policy with a free choice of the single
+  instance type).
+* :mod:`~repro.baselines.ablations` — **All-Unable**, **w/o-RP**,
+  **w/o-CK** SOMPI variants (w/o-MT is an
+  :class:`~repro.execution.adaptive.AdaptiveExecutor` flag).
+"""
+
+from .ondemand_only import ondemand_decision
+from .spot_naive import spot_inf_decision, spot_avg_decision, INF_BID
+from .marathe import marathe_decision, marathe_opt_decision
+from .ablations import all_unable_config, wo_rp_config, wo_ck_config, ablation_plan
+
+__all__ = [
+    "ondemand_decision",
+    "spot_inf_decision",
+    "spot_avg_decision",
+    "INF_BID",
+    "marathe_decision",
+    "marathe_opt_decision",
+    "all_unable_config",
+    "wo_rp_config",
+    "wo_ck_config",
+    "ablation_plan",
+]

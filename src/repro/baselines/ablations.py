@@ -1,0 +1,66 @@
+"""Fault-tolerance ablations (Section 5.4.2).
+
+The paper disables one mechanism at a time:
+
+* **All-Unable** — no replication (one circle group) and no checkpoints.
+* **w/o-RP** — checkpoints only (one circle group).
+* **w/o-CK** — replication only (no checkpoints).
+* **w/o-MT** — no update maintenance: the adaptive executor keeps its
+  initial failure models and decision for the whole run
+  (``AdaptiveExecutor(refresh_models=False)``).
+
+The first three are just SOMPI under a restricted configuration, which
+is exactly how the paper builds them — the optimizer still tunes bids
+and (where allowed) intervals inside the smaller solution space.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..config import SompiConfig
+from ..core.optimizer import SompiOptimizer, SompiPlan
+from ..core.problem import Problem
+from ..market.failure import FailureModel
+from ..market.history import MarketKey
+
+
+def all_unable_config(base: SompiConfig) -> SompiConfig:
+    """No replication, no checkpoints."""
+    return base.with_(kappa=1, checkpointing=False)
+
+
+def wo_rp_config(base: SompiConfig) -> SompiConfig:
+    """Without replication: a single circle group, checkpoints allowed."""
+    return base.with_(kappa=1, checkpointing=True)
+
+
+def wo_ck_config(base: SompiConfig) -> SompiConfig:
+    """Without checkpointing: replicas allowed, no checkpoints."""
+    return base.with_(checkpointing=False)
+
+
+def ablation_plan(
+    variant: str,
+    problem: Problem,
+    failure_models: Mapping[MarketKey, FailureModel],
+    base: SompiConfig,
+) -> SompiPlan:
+    """Plan with one fault-tolerance mechanism knocked out.
+
+    ``variant`` is one of ``"all-unable"``, ``"wo-rp"``, ``"wo-ck"``,
+    ``"sompi"`` (no restriction, for symmetric comparisons).
+    """
+    configs = {
+        "all-unable": all_unable_config,
+        "wo-rp": wo_rp_config,
+        "wo-ck": wo_ck_config,
+        "sompi": lambda c: c,
+    }
+    try:
+        cfg = configs[variant](base)
+    except KeyError:
+        raise ValueError(
+            f"unknown ablation {variant!r}; known: {sorted(configs)}"
+        ) from None
+    return SompiOptimizer(problem, failure_models, cfg).plan()

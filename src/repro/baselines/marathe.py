@@ -1,0 +1,122 @@
+"""Marathe et al. [30] — the paper's state-of-the-art comparison.
+
+Their policy, as characterised in Section 5.3.1:
+
+* replicate the MPI execution on spot fleets of **one instance type** in
+  several availability zones (spatial redundancy),
+* bid the **on-demand price** of that type (their recommended bid), and
+* checkpoint with Young's interval.
+
+**Marathe** hard-codes cc2.8xlarge (their default).  **Marathe-Opt**
+evaluates every candidate type under the same policy and keeps the
+cheapest deadline-feasible one — the paper's strengthened version, which
+SOMPI still beats because it can *mix* types, tune bids, and co-optimize
+the checkpoint interval with the bid.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from ..core.cost_model import GroupOutcome, evaluate
+from ..core.interval import young_interval
+from ..core.ondemand_select import select_ondemand
+from ..core.problem import Decision, GroupDecision, Problem
+from ..errors import InfeasibleError
+from ..market.failure import FailureModel
+from ..market.history import MarketKey
+
+MARATHE_DEFAULT_TYPE = "cc2.8xlarge"
+
+
+def _policy_decision(
+    problem: Problem,
+    failure_models: Mapping[MarketKey, FailureModel],
+    instance_type: str,
+    max_zones: int,
+    step_hours: float,
+) -> Optional[Decision]:
+    """Marathe policy instantiated for one instance type.
+
+    Returns ``None`` when the problem has no circle-group candidates of
+    that type.
+    """
+    indices = [
+        i for i, g in enumerate(problem.groups) if g.itype.name == instance_type
+    ]
+    if not indices:
+        return None
+    indices = indices[:max_zones]
+    od_idx, _ = select_ondemand(problem.ondemand_options, problem.deadline, 0.0)
+    groups = []
+    for i in indices:
+        spec = problem.groups[i]
+        fm = failure_models[spec.key]
+        bid = spec.itype.ondemand_price
+        interval = young_interval(
+            spec.checkpoint_overhead, fm.mttf_hours(bid), spec.exec_time
+        )
+        groups.append(GroupDecision(i, bid, interval))
+    return Decision(groups=tuple(groups), ondemand_index=od_idx)
+
+
+def marathe_decision(
+    problem: Problem,
+    failure_models: Mapping[MarketKey, FailureModel],
+    max_zones: int = 3,
+    step_hours: float = 1.0,
+) -> Decision:
+    """The original Marathe configuration: cc2.8xlarge replicas."""
+    decision = _policy_decision(
+        problem, failure_models, MARATHE_DEFAULT_TYPE, max_zones, step_hours
+    )
+    if decision is None:
+        raise InfeasibleError(
+            f"problem has no {MARATHE_DEFAULT_TYPE} circle-group candidates"
+        )
+    return decision
+
+
+def marathe_opt_decision(
+    problem: Problem,
+    failure_models: Mapping[MarketKey, FailureModel],
+    max_zones: int = 3,
+    step_hours: float = 1.0,
+) -> Decision:
+    """Marathe's policy with the best single instance type.
+
+    Each candidate type's decision is scored with the expected-cost model
+    and must meet the deadline in expectation; the cheapest wins.  Falls
+    back to the fastest type's decision if nothing is feasible (matching
+    the paper: under tight deadlines Marathe-Opt degenerates to Marathe).
+    """
+    type_names = sorted({g.itype.name for g in problem.groups})
+    best: Optional[tuple[float, Decision]] = None
+    fastest: Optional[tuple[float, Decision]] = None
+    for tname in type_names:
+        decision = _policy_decision(
+            problem, failure_models, tname, max_zones, step_hours
+        )
+        if decision is None:
+            continue
+        outcomes = [
+            GroupOutcome.build(
+                problem.groups[gd.group_index],
+                gd.bid,
+                gd.interval,
+                failure_models[problem.groups[gd.group_index].key],
+                step_hours,
+            )
+            for gd in decision.groups
+        ]
+        exp = evaluate(outcomes, problem.ondemand_options[decision.ondemand_index])
+        if fastest is None or exp.time < fastest[0]:
+            fastest = (exp.time, decision)
+        if exp.meets_deadline(problem.deadline):
+            if best is None or exp.cost < best[0]:
+                best = (exp.cost, decision)
+    if best is not None:
+        return best[1]
+    if fastest is not None:
+        return fastest[1]
+    raise InfeasibleError("no circle-group candidates at all")

@@ -1,0 +1,22 @@
+"""The On-demand baseline (Section 5.3.1).
+
+"We select the type of on-demand instance with the smallest expected
+monetary cost, which satisfies the deadline requirement at the same
+time."  No spot instances, no fault tolerance needed.
+"""
+
+from __future__ import annotations
+
+from ..core.ondemand_select import select_ondemand
+from ..core.problem import Decision, Problem
+
+
+def ondemand_decision(problem: Problem, slack: float = 0.0) -> Decision:
+    """Cheapest deadline-feasible pure on-demand plan.
+
+    ``slack`` defaults to 0 here (unlike SOMPI's fallback selection)
+    because a pure on-demand run has no checkpoint/recovery overhead to
+    reserve time for.
+    """
+    idx, _ = select_ondemand(problem.ondemand_options, problem.deadline, slack)
+    return Decision(groups=(), ondemand_index=idx)

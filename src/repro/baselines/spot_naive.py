@@ -1,0 +1,78 @@
+"""Naive spot heuristics (Section 5.3.2).
+
+**Spot-Inf** bids effectively infinity ($999 in the paper's experiments)
+so the instance is never reclaimed — but every price spike is paid in
+full, which is where its large cost variance comes from.
+
+**Spot-Avg** bids the historical average price: cheap while it runs,
+but out-of-bid events are frequent and, with no checkpoints, each one
+restarts the application from scratch (the hybrid executor's on-demand
+fallback eventually rescues it).
+
+Both pick a single circle group: the one with the lowest expected cost
+among the deadline-feasible candidates.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..core.problem import Decision, GroupDecision, Problem
+from ..core.ondemand_select import select_ondemand
+from ..errors import InfeasibleError
+from ..market.failure import FailureModel
+from ..market.history import MarketKey
+
+INF_BID = 999.0
+
+
+def _pick_group(
+    problem: Problem,
+    failure_models: Mapping[MarketKey, FailureModel],
+    bid_of,
+) -> tuple[int, float]:
+    """Cheapest deadline-feasible (group, bid) under expected spot price."""
+    best = None
+    for i, spec in enumerate(problem.groups):
+        if spec.exec_time > problem.deadline:
+            continue
+        fm = failure_models[spec.key]
+        bid = bid_of(fm)
+        expected = fm.expected_price(bid) * spec.exec_time * spec.n_instances
+        if best is None or expected < best[0]:
+            best = (expected, i, bid)
+    if best is None:
+        raise InfeasibleError(
+            "no circle-group candidate fits the deadline even failure-free"
+        )
+    return best[1], best[2]
+
+
+def spot_inf_decision(
+    problem: Problem, failure_models: Mapping[MarketKey, FailureModel]
+) -> Decision:
+    """Bid $999 on the cheapest feasible group; no checkpoints."""
+    idx, _ = _pick_group(problem, failure_models, lambda fm: INF_BID)
+    spec = problem.groups[idx]
+    od_idx, _ = select_ondemand(problem.ondemand_options, problem.deadline, 0.0)
+    return Decision(
+        groups=(GroupDecision(idx, INF_BID, spec.exec_time),),
+        ondemand_index=od_idx,
+    )
+
+
+def spot_avg_decision(
+    problem: Problem, failure_models: Mapping[MarketKey, FailureModel]
+) -> Decision:
+    """Bid the historical mean price on the cheapest feasible group."""
+
+    def avg_bid(fm: FailureModel) -> float:
+        return fm.trace.mean_price()
+
+    idx, bid = _pick_group(problem, failure_models, avg_bid)
+    spec = problem.groups[idx]
+    od_idx, _ = select_ondemand(problem.ondemand_options, problem.deadline, 0.0)
+    return Decision(
+        groups=(GroupDecision(idx, bid, spec.exec_time),),
+        ondemand_index=od_idx,
+    )

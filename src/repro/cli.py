@@ -1,0 +1,182 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro.cli plan     --app BT --deadline-factor 1.5
+    python -m repro.cli replay   --app BT --deadline-factor 1.5 --samples 300
+    python -m repro.cli markets  --days 7
+    python -m repro.cli export-history --out history.json
+    python -m repro.cli experiments --only fig5 tab2   (alias of the runner)
+
+``plan`` prints the SOMPI decision for a workload; ``replay``
+additionally Monte-Carlo-evaluates it against the traces; ``markets``
+summarises the synthetic spot markets; ``export-history`` writes the
+generated history to a JSON file (the same format ``--history`` loads,
+so real AWS dumps converted via :mod:`repro.market.io` can be swapped
+in).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Iterable, Optional
+
+from .apps import PAPER_APPS
+from .config import DEFAULT_CONFIG
+from .experiments.env import ExperimentEnv
+from .market.history import SpotPriceHistory
+from .market.io import load_history, save_history
+from .market.stats import TraceSummary
+
+
+def _build_env(args: argparse.Namespace) -> ExperimentEnv:
+    config = DEFAULT_CONFIG.with_(kappa=args.kappa)
+    env = ExperimentEnv.paper_default(seed=args.seed, config=config)
+    if getattr(args, "history", None):
+        loaded = load_history(args.history)
+        # keep only markets the catalog knows, so problems stay valid
+        filtered = SpotPriceHistory()
+        for key, trace in loaded.items():
+            filtered.add(key, trace)
+        env.history = filtered
+    return env
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--kappa", type=int, default=3)
+    parser.add_argument(
+        "--history", type=str, default=None, help="JSON history file to use"
+    )
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    env = _build_env(args)
+    app = env.app(args.app, n_processes=args.processes)
+    problem = env.problem(app, deadline_factor=args.deadline_factor)
+    plan = env.sompi_plan(problem)
+    if args.json:
+        import json
+
+        print(json.dumps(plan.to_dict(), indent=1))
+        return 0
+    print(f"workload: {app.profile().name}")
+    print(
+        f"baseline: {env.baseline_time(app):.2f} h / "
+        f"${env.baseline_cost(app):.2f}; deadline {problem.deadline:.2f} h"
+    )
+    print(plan.describe())
+    print(
+        f"(searched {plan.combos_evaluated} bid combinations; "
+        f"used spot: {plan.used_spot})"
+    )
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    env = _build_env(args)
+    app = env.app(args.app, n_processes=args.processes)
+    problem = env.problem(app, deadline_factor=args.deadline_factor)
+    plan = env.sompi_plan(problem)
+    print(plan.describe())
+    mc = env.mc(
+        problem,
+        plan.decision,
+        n_samples=args.samples,
+        stream="cli",
+        semantics=args.semantics,
+    )
+    print(
+        f"\n{args.samples} replays ({args.semantics}): "
+        f"cost ${mc.mean_cost:.2f} +- {mc.std_cost:.2f} "
+        f"(p95 ${mc.p95_cost:.2f}), time {mc.mean_time:.2f} h, "
+        f"deadline misses {mc.deadline_miss_rate:.1%}, "
+        f"finished on spot {mc.spot_completion_rate:.1%}"
+    )
+    return 0
+
+
+def cmd_markets(args: argparse.Namespace) -> int:
+    env = _build_env(args)
+    print(f"{'market':>26}  {'min':>8}  {'max':>8}  {'mean':>8}  {'cv':>6}")
+    for key, trace in env.history.items():
+        window = trace.slice(
+            trace.start_time, min(trace.end_time, trace.start_time + args.days * 24)
+        )
+        s = TraceSummary.of(window, spike_threshold=4 * window.mean_price())
+        print(
+            f"{str(key):>26}  {s.min_price:8.4f}  {s.max_price:8.3f}  "
+            f"{s.mean_price:8.4f}  {s.coefficient_of_variation:6.2f}"
+        )
+    return 0
+
+
+def cmd_export_history(args: argparse.Namespace) -> int:
+    env = _build_env(args)
+    save_history(env.history, args.out)
+    print(f"wrote {len(env.history)} markets to {args.out}")
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from .experiments import runner
+
+    forwarded = ["--seed", str(args.seed)]
+    if args.quick:
+        forwarded.append("--quick")
+    if args.only:
+        forwarded += ["--only", *args.only]
+    return runner.main(forwarded)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_plan = sub.add_parser("plan", help="print the SOMPI plan for a workload")
+    _add_common(p_plan)
+    p_plan.add_argument("--app", choices=[*PAPER_APPS, "CG", "MG", "LAMMPS"], default="BT")
+    p_plan.add_argument("--processes", type=int, default=128)
+    p_plan.add_argument("--deadline-factor", type=float, default=1.5)
+    p_plan.add_argument("--json", action="store_true", help="emit the plan as JSON")
+    p_plan.set_defaults(fn=cmd_plan)
+
+    p_replay = sub.add_parser("replay", help="plan + Monte-Carlo replay")
+    _add_common(p_replay)
+    p_replay.add_argument("--app", choices=[*PAPER_APPS, "LAMMPS"], default="BT")
+    p_replay.add_argument("--processes", type=int, default=128)
+    p_replay.add_argument("--deadline-factor", type=float, default=1.5)
+    p_replay.add_argument("--samples", type=int, default=300)
+    p_replay.add_argument(
+        "--semantics", choices=("single-shot", "persistent"), default="single-shot"
+    )
+    p_replay.set_defaults(fn=cmd_replay)
+
+    p_markets = sub.add_parser("markets", help="summarise the spot markets")
+    _add_common(p_markets)
+    p_markets.add_argument("--days", type=float, default=7.0)
+    p_markets.set_defaults(fn=cmd_markets)
+
+    p_export = sub.add_parser("export-history", help="write the history JSON")
+    _add_common(p_export)
+    p_export.add_argument("--out", type=str, required=True)
+    p_export.set_defaults(fn=cmd_export_history)
+
+    p_exp = sub.add_parser("experiments", help="run the paper experiments")
+    p_exp.add_argument("--seed", type=int, default=7)
+    p_exp.add_argument("--quick", action="store_true")
+    p_exp.add_argument("--only", nargs="*", default=None)
+    p_exp.set_defaults(fn=cmd_experiments)
+
+    return parser
+
+
+def main(argv: Optional[Iterable[str]] = None) -> int:
+    args = build_parser().parse_args(list(argv) if argv is not None else None)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

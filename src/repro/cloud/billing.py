@@ -1,0 +1,102 @@
+"""Billing policies and cost accounting.
+
+The analytic cost model (Section 3.2) works in continuous time —
+``price x duration`` — so the default policy bills fractional hours
+exactly.  Real 2012-2014 EC2 billed whole instance-hours and *refunded*
+the partial hour of a spot instance that Amazon itself interrupted; both
+behaviours are available so the replay simulator can quantify the gap.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List
+
+from ..errors import ConfigurationError
+from ..units import check_nonnegative
+
+
+@dataclass(frozen=True)
+class BillingPolicy:
+    """How raw usage turns into dollars.
+
+    Attributes
+    ----------
+    granularity_hours:
+        Billing increment.  ``0`` means continuous (exact) billing; ``1``
+        reproduces 2014 EC2 whole-hour billing.
+    refund_interrupted_hour:
+        If billing is hourly and a *provider-initiated* interruption ends
+        the run, the final partial hour is free (2014 spot semantics).
+    """
+
+    granularity_hours: float = 0.0
+    refund_interrupted_hour: bool = True
+
+    def __post_init__(self) -> None:
+        check_nonnegative("granularity_hours", self.granularity_hours)
+
+    def billable_hours(self, duration_hours: float, interrupted: bool = False) -> float:
+        """Hours actually charged for a run of ``duration_hours``."""
+        check_nonnegative("duration_hours", duration_hours)
+        if self.granularity_hours == 0.0:
+            return duration_hours
+        g = self.granularity_hours
+        if interrupted and self.refund_interrupted_hour:
+            # Whole increments consumed before the interruption.
+            return g * math.floor(duration_hours / g)
+        return g * math.ceil(duration_hours / g) if duration_hours > 0 else 0.0
+
+    def cost(
+        self, unit_price: float, duration_hours: float, interrupted: bool = False
+    ) -> float:
+        """Dollars for one instance at a fixed ``unit_price`` $/hour."""
+        check_nonnegative("unit_price", unit_price)
+        return unit_price * self.billable_hours(duration_hours, interrupted)
+
+
+CONTINUOUS = BillingPolicy(granularity_hours=0.0)
+HOURLY = BillingPolicy(granularity_hours=1.0)
+
+
+@dataclass(frozen=True)
+class CostItem:
+    """One line of a cost ledger."""
+
+    category: str  # "spot", "ondemand", "storage", ...
+    description: str
+    dollars: float
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.dollars) or self.dollars < 0:
+            raise ConfigurationError(
+                f"cost item {self.description!r} has invalid amount {self.dollars!r}"
+            )
+
+
+@dataclass
+class CostLedger:
+    """Accumulates :class:`CostItem` lines and answers total queries."""
+
+    items: List[CostItem] = field(default_factory=list)
+
+    def add(self, category: str, description: str, dollars: float) -> None:
+        self.items.append(CostItem(category, description, dollars))
+
+    def total(self, category: str | None = None) -> float:
+        """Sum of all items, optionally restricted to one category."""
+        return sum(
+            item.dollars
+            for item in self.items
+            if category is None or item.category == category
+        )
+
+    def by_category(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for item in self.items:
+            out[item.category] = out.get(item.category, 0.0) + item.dollars
+        return out
+
+    def merge(self, other: "CostLedger") -> None:
+        self.items.extend(other.items)

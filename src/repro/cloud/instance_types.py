@@ -1,0 +1,95 @@
+"""Instance-type catalog.
+
+The paper evaluates four types — m1.small and m1.medium (cheap),
+c3.xlarge and cc2.8xlarge (powerful) — so those are modelled with care;
+a few extra 2014-era types are included for richer experiments.  Prices
+are the published us-east-1 on-demand rates of mid-2014.
+
+Performance parameters drive the Section 4.4 execution-time estimator
+(``time = CPU + network + IO``):
+
+* ``core_speed`` — normalised instruction throughput per core.  Derived
+  from EC2 Compute Units (ECU) per vCPU; m1.small's single ECU core is
+  the unit.
+* ``network_gbps`` — per-instance NIC bandwidth.  cc2.8xlarge's 10 GbE
+  vs. everything else's sub-gigabit links is why communication-intensive
+  kernels (FT, IS) favour it in the paper.
+* ``disk_mbps`` — per-instance local-disk bandwidth.  Aggregate IO
+  bandwidth scales with the *number* of instances, which is why a fleet
+  of m1.smalls beats a few cc2.8xlarges on BTIO (Section 5.3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+from ..errors import ConfigurationError
+from ..units import check_positive
+
+
+@dataclass(frozen=True)
+class InstanceType:
+    """Static description of one EC2 instance type."""
+
+    name: str
+    vcpus: int
+    core_speed: float  # normalised giga-instructions per second per core
+    memory_gb: float
+    network_gbps: float
+    disk_mbps: float
+    ondemand_price: float  # $/hour, us-east-1
+
+    def __post_init__(self) -> None:
+        if self.vcpus < 1:
+            raise ConfigurationError(f"{self.name}: vcpus must be >= 1")
+        check_positive(f"{self.name}.core_speed", self.core_speed)
+        check_positive(f"{self.name}.memory_gb", self.memory_gb)
+        check_positive(f"{self.name}.network_gbps", self.network_gbps)
+        check_positive(f"{self.name}.disk_mbps", self.disk_mbps)
+        check_positive(f"{self.name}.ondemand_price", self.ondemand_price)
+
+    @property
+    def total_speed(self) -> float:
+        """Aggregate instruction throughput of one instance."""
+        return self.vcpus * self.core_speed
+
+
+# 2014-era us-east-1 on-demand pricing and capabilities.  ECU-derived core
+# speeds: m1.small 1 ECU/core, m1.medium 2, m1.large 2, c3.xlarge 3.5,
+# cc2.8xlarge 2.75 (88 ECU / 32 vCPU).
+CATALOG: dict[str, InstanceType] = {
+    t.name: t
+    for t in (
+        InstanceType("m1.small", 1, 1.0, 1.7, 0.125, 40.0, 0.044),
+        InstanceType("m1.medium", 1, 2.2, 3.75, 0.30, 60.0, 0.087),
+        InstanceType("m1.large", 2, 2.0, 7.5, 0.45, 80.0, 0.175),
+        InstanceType("c3.xlarge", 4, 3.5, 7.5, 0.70, 120.0, 0.210),
+        InstanceType("c3.4xlarge", 16, 3.4, 30.0, 2.0, 160.0, 0.840),
+        InstanceType("cc2.8xlarge", 32, 2.75, 60.5, 10.0, 200.0, 2.000),
+    )
+}
+
+#: The four candidate types used throughout the paper's evaluation.
+PAPER_TYPES: tuple[str, ...] = ("m1.small", "m1.medium", "c3.xlarge", "cc2.8xlarge")
+
+
+def get_instance_type(name: str) -> InstanceType:
+    """Look up a catalog entry, with a helpful error on typos."""
+    try:
+        return CATALOG[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown instance type {name!r}; known: {sorted(CATALOG)}"
+        ) from None
+
+
+def instances_needed(itype: InstanceType, n_processes: int) -> int:
+    """Number of instances for an ``n_processes`` MPI job.
+
+    The paper pins one MPI process per core: ``M = ceil(N / cores)``
+    (Section 3.1.2).
+    """
+    if n_processes < 1:
+        raise ConfigurationError(f"n_processes must be >= 1, got {n_processes}")
+    return ceil(n_processes / itype.vcpus)

@@ -1,0 +1,29 @@
+"""On-demand instances.
+
+On-demand capacity never fails in the model (Section 3.1.1 uses it as the
+reliable fallback), so the lifecycle is trivial: a fixed hourly price and
+a run duration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..units import check_nonnegative
+from .billing import BillingPolicy, CONTINUOUS
+from .instance_types import InstanceType
+
+
+@dataclass(frozen=True)
+class OnDemandInstance:
+    """A reserved-rate instance of a given type."""
+
+    itype: InstanceType
+    billing: BillingPolicy = CONTINUOUS
+
+    def cost(self, duration_hours: float, count: int = 1) -> float:
+        """Dollars for ``count`` instances running ``duration_hours``."""
+        check_nonnegative("duration_hours", duration_hours)
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        return count * self.billing.cost(self.itype.ondemand_price, duration_hours)

@@ -1,0 +1,59 @@
+"""Cloud-provider facade.
+
+Bundles the pieces an experiment needs — catalog, zones, spot price
+history, billing policy and the checkpoint store — behind one object, so
+the optimizer and executors take a single dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..errors import ConfigurationError
+from ..market.history import MarketKey, SpotPriceHistory
+from ..market.trace import SpotPriceTrace
+from .billing import BillingPolicy, CONTINUOUS
+from .instance_types import CATALOG, InstanceType, get_instance_type
+from .ondemand import OnDemandInstance
+from .s3 import S3Store
+from .spot import SpotLifecycle
+from .zones import DEFAULT_ZONES, Zone
+
+
+@dataclass
+class CloudProvider:
+    """One region's worth of EC2-like resources."""
+
+    history: SpotPriceHistory
+    zones: Sequence[Zone] = DEFAULT_ZONES
+    billing: BillingPolicy = CONTINUOUS
+    storage: S3Store = field(default_factory=S3Store)
+
+    def instance_type(self, name: str) -> InstanceType:
+        return get_instance_type(name)
+
+    def ondemand(self, type_name: str) -> OnDemandInstance:
+        return OnDemandInstance(get_instance_type(type_name), billing=self.billing)
+
+    def markets(self) -> list[MarketKey]:
+        """All markets with recorded spot history."""
+        return list(self.history.keys())
+
+    def trace(self, key: MarketKey) -> SpotPriceTrace:
+        return self.history.get(key)
+
+    def spot(self, key: MarketKey) -> SpotLifecycle:
+        """Spot lifecycle driver for one market."""
+        return SpotLifecycle(self.history.get(key))
+
+    def validate_market(self, key: MarketKey) -> MarketKey:
+        """Check the market references a known type, zone and trace."""
+        get_instance_type(key.instance_type)
+        if key.zone not in {z.name for z in self.zones}:
+            raise ConfigurationError(
+                f"unknown zone {key.zone!r}; known: {[z.name for z in self.zones]}"
+            )
+        if key not in self.history:
+            raise ConfigurationError(f"no spot history for market {key}")
+        return key

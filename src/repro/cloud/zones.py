@@ -1,0 +1,29 @@
+"""Availability zones.
+
+Zones matter to the model for exactly one reason: spot prices in
+different zones move independently (a paper assumption confirmed on the
+2014 traces), so replicating an MPI run across zones buys failure
+independence.  The default set matches the paper's us-east-1a/1b/1c.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Zone:
+    """An availability zone within a region."""
+
+    name: str
+    region: str = "us-east-1"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+DEFAULT_ZONES: tuple[Zone, ...] = (
+    Zone("us-east-1a"),
+    Zone("us-east-1b"),
+    Zone("us-east-1c"),
+)

@@ -1,0 +1,84 @@
+"""Chance constraints: the distribution behind the expectations (extension).
+
+The paper constrains the *expected* execution time.  An expectation can
+hide a fat tail — a plan that usually finishes early but occasionally
+blows through the deadline satisfies ``E[Time] <= Deadline`` while
+missing often.  This module samples the joint outcome distribution of a
+decision (cheap: failure times are independent across groups with known
+marginals) and exposes
+
+* :func:`miss_probability` — ``P(Time > Deadline)``, usable as an extra
+  constraint in the two-level optimizer
+  (``SompiConfig.max_miss_probability``), and
+* :func:`cost_quantile` — tail cost estimates for risk reporting.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .cost_model import GroupOutcome
+from .problem import OnDemandOption
+
+
+def sample_outcomes(
+    outcomes: Sequence[GroupOutcome],
+    ondemand: OnDemandOption,
+    n_samples: int,
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Draw ``(costs, times)`` samples from the model's joint distribution.
+
+    Group failure times are independent (the paper's zone-independence
+    assumption), so the joint sample is one marginal draw per group; the
+    hybrid min/max coupling is then applied per sample exactly as in the
+    analytic formulas.
+    """
+    if not outcomes:
+        raise ConfigurationError("need at least one group outcome")
+    if n_samples < 1:
+        raise ConfigurationError(f"n_samples must be >= 1, got {n_samples}")
+    g = len(outcomes)
+    walls = np.empty((g, n_samples))
+    ratios = np.empty((g, n_samples))
+    spot_costs = np.zeros(n_samples)
+    for i, o in enumerate(outcomes):
+        idx = rng.choice(o.pmf.size, size=n_samples, p=o.pmf)
+        walls[i] = o.wall[idx]
+        ratios[i] = o.ratios[idx]
+        spot_costs += o.expected_price * o.spec.n_instances * walls[i]
+    min_ratio = ratios.min(axis=0)
+    times = walls.max(axis=0) + min_ratio * ondemand.exec_time
+    costs = spot_costs + min_ratio * ondemand.full_run_cost
+    return costs, times
+
+
+def miss_probability(
+    outcomes: Sequence[GroupOutcome],
+    ondemand: OnDemandOption,
+    deadline: float,
+    n_samples: int = 20_000,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """``P(Time > Deadline)`` under the model's joint distribution."""
+    rng = rng or np.random.default_rng(0)
+    _costs, times = sample_outcomes(outcomes, ondemand, n_samples, rng)
+    return float(np.mean(times > deadline + 1e-9))
+
+
+def cost_quantile(
+    outcomes: Sequence[GroupOutcome],
+    ondemand: OnDemandOption,
+    q: float,
+    n_samples: int = 20_000,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """The ``q``-quantile of the cost distribution (e.g. q=0.95)."""
+    if not 0.0 <= q <= 1.0:
+        raise ConfigurationError(f"q must be in [0, 1], got {q}")
+    rng = rng or np.random.default_rng(0)
+    costs, _times = sample_outcomes(outcomes, ondemand, n_samples, rng)
+    return float(np.quantile(costs, q))

@@ -1,0 +1,92 @@
+"""Checkpoint timeline arithmetic shared by the cost model and the replay.
+
+The execution of one circle group alternates work and checkpoints:
+
+``F`` hours of work, then an ``O``-hour checkpoint, repeated; checkpoints
+land at productive times ``F, 2F, ...`` strictly *before* completion (a
+checkpoint exactly at the finish line is never taken).  The helpers here
+convert between productive time, wall time and checkpoint counts, and
+are the single source of truth for that timeline — the analytic model
+and the trace replay must agree on it or the Section 5.4.1 accuracy
+study would measure our bugs instead of the model error.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigurationError
+
+
+def checkpoints_completed(productive: float, exec_time: float, interval: float) -> int:
+    """Checkpoints finished by productive time ``productive``.
+
+    Checkpoints happen at ``k * interval`` for ``k >= 1`` while that is
+    strictly less than ``exec_time``.
+    """
+    _check(exec_time, interval)
+    if productive < 0:
+        raise ConfigurationError(f"productive must be >= 0, got {productive}")
+    k = math.floor(productive / interval + 1e-12)
+    # A multiple of F at (or beyond) the finish line is not taken.
+    while k >= 1 and k * interval >= exec_time - 1e-12:
+        k -= 1
+    return k
+
+
+def wall_for_productive(
+    productive: float, exec_time: float, interval: float, overhead: float
+) -> float:
+    """Wall hours to reach productive time ``productive`` (checkpoints done
+    along the way included)."""
+    k = checkpoints_completed(productive, exec_time, interval)
+    return productive + overhead * k
+
+
+def total_wall(exec_time: float, interval: float, overhead: float) -> float:
+    """Wall hours of a failure-free run to completion."""
+    return wall_for_productive(exec_time, exec_time, interval, overhead)
+
+
+def progress_after_wall(
+    wall: float, exec_time: float, interval: float, overhead: float
+) -> tuple[float, float, int]:
+    """Invert the timeline: given ``wall`` available hours, return
+    ``(productive, saved, n_checkpoints)``.
+
+    ``productive`` is the work done (capped at ``exec_time``); ``saved``
+    is the checkpoint-protected prefix (what survives a failure at this
+    instant — work past the last completed checkpoint is lost, and time
+    spent *inside* a checkpoint protects nothing new).
+    """
+    _check(exec_time, interval)
+    if wall < 0:
+        raise ConfigurationError(f"wall must be >= 0, got {wall}")
+    done_wall = total_wall(exec_time, interval, overhead)
+    if wall >= done_wall - 1e-12:
+        return exec_time, exec_time, checkpoints_completed(
+            exec_time, exec_time, interval
+        )
+    cycle = interval + overhead
+    k_full = int(math.floor(wall / cycle + 1e-12))
+    rem = wall - k_full * cycle
+    # Checkpoints at/after the finish line never happen, so a "cycle"
+    # boundary beyond exec_time is pure work; handle by capping work.
+    if rem <= interval + 1e-12:
+        productive = k_full * interval + rem
+        n_ckpt = k_full
+    else:
+        productive = (k_full + 1) * interval  # mid-checkpoint: work stalled
+        n_ckpt = k_full
+    productive = min(productive, exec_time)
+    # The last completed checkpoint may be fewer than floor(p/F) when the
+    # failure interrupts a checkpoint in progress; n_ckpt already tracks it.
+    saved = min(n_ckpt * interval, productive)
+    return productive, saved, n_ckpt
+
+
+def _check(exec_time: float, interval: float) -> None:
+    if exec_time <= 0:
+        raise ConfigurationError(f"exec_time must be > 0, got {exec_time}")
+    if interval <= 0:
+        raise ConfigurationError(f"interval must be > 0, got {interval}")

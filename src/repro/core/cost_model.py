@@ -1,0 +1,287 @@
+"""Expected monetary cost and execution time (Formulas 1-11).
+
+The paper writes the expectations as sums over the joint failure-time
+vector ``(t_1, ..., t_K)``, which costs ``O(prod_i T_i)`` to enumerate.
+Because group failures are independent and every term of the objective is
+either *separable* in the groups (``Cost^S``), a *max* over groups
+(``Time^S``) or a *min* over groups (the best-checkpoint ``Ratio`` that
+prices the on-demand recovery), the expectations factor through the
+per-group marginals:
+
+* ``E[Cost^S] = sum_i S_i M_i E[X_i]`` with
+  ``X_i = t_i + O_i floor(t_i / F_i)`` the wall time of group ``i``,
+* ``E[Time^S] = E[max_i X_i]`` via the product of per-group CDFs,
+* ``E[Cost^OD] = T D M * E[min_i Ratio_i]`` and
+  ``E[Time^OD] = T * E[min_i Ratio_i]`` via the product of per-group
+  survival functions,
+
+all in ``O(sum_i T_i log)`` — see DESIGN.md section 3.  The naive joint
+enumeration is kept as :func:`evaluate_enumerated` and the test suite
+cross-validates the two on small instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..market.failure import FailureModel
+from .problem import CircleGroupSpec, OnDemandOption
+from .ratio import ratio_array
+
+
+@dataclass(frozen=True)
+class GroupOutcome:
+    """Per-group randomness under one fixed (bid, interval) choice.
+
+    ``pmf[t]`` for ``t < n_steps`` is the probability the group dies
+    during productive step ``t``; ``pmf[n_steps]`` is the probability it
+    completes.  ``productive``, ``wall`` and ``ratios`` are the
+    corresponding outcome values, all indexed by ``t``.
+    """
+
+    spec: CircleGroupSpec
+    bid: float
+    interval: float
+    step_hours: float
+    pmf: np.ndarray
+    expected_price: float
+    productive: np.ndarray
+    wall: np.ndarray
+    ratios: np.ndarray
+
+    @classmethod
+    def build(
+        cls,
+        spec: CircleGroupSpec,
+        bid: float,
+        interval: float,
+        failure_model: FailureModel,
+        step_hours: float = 1.0,
+    ) -> "GroupOutcome":
+        """Assemble the outcome table from a failure model."""
+        if interval <= 0:
+            raise ConfigurationError(f"interval must be > 0, got {interval}")
+        n = max(1, int(np.ceil(spec.exec_time / step_hours)))
+        pmf = failure_model.failure_pmf(bid, n)
+        return cls.from_pmf(
+            spec,
+            bid,
+            interval,
+            pmf,
+            expected_price=failure_model.expected_price(bid),
+            step_hours=step_hours,
+        )
+
+    @classmethod
+    def from_pmf(
+        cls,
+        spec: CircleGroupSpec,
+        bid: float,
+        interval: float,
+        pmf: np.ndarray,
+        expected_price: float,
+        step_hours: float = 1.0,
+    ) -> "GroupOutcome":
+        """Assemble from an explicit failure pmf (tests, oracles)."""
+        pmf = np.asarray(pmf, dtype=float)
+        if pmf.ndim != 1 or pmf.size < 2:
+            raise ConfigurationError("pmf must be 1-D with length n_steps + 1")
+        if np.any(pmf < -1e-12) or abs(pmf.sum() - 1.0) > 1e-9:
+            raise ConfigurationError("pmf must be non-negative and sum to 1")
+        n = pmf.size - 1
+        # Productive time at each outcome: t*step for failures (floored to
+        # the step grid, as the paper discretises), T for completion.
+        productive = np.minimum(step_hours * np.arange(n + 1), spec.exec_time)
+        productive[n] = spec.exec_time
+        # Checkpoints land at k*F strictly before completion; one exactly at
+        # the finish line is never taken (see core.ckpt_math).
+        k_max = int(np.ceil(spec.exec_time / interval - 1e-12)) - 1
+        n_ckpts = np.minimum(np.floor(productive / interval + 1e-12), max(0, k_max))
+        wall = productive + spec.checkpoint_overhead * n_ckpts
+        ratios = ratio_array(
+            productive, spec.exec_time, interval, spec.recovery_overhead
+        )
+        ratios[n] = 0.0  # completion, regardless of grid rounding
+        return cls(
+            spec=spec,
+            bid=bid,
+            interval=interval,
+            step_hours=step_hours,
+            pmf=pmf,
+            expected_price=float(expected_price),
+            productive=productive,
+            wall=wall,
+            ratios=ratios,
+        )
+
+    @property
+    def completion_probability(self) -> float:
+        return float(self.pmf[-1])
+
+    def expected_spot_cost(self) -> float:
+        """``S_i * M_i * E[X_i]`` — this group's expected spot bill."""
+        return (
+            self.expected_price
+            * self.spec.n_instances
+            * float(np.dot(self.pmf, self.wall))
+        )
+
+
+@dataclass(frozen=True)
+class Expectation:
+    """Evaluated objective and its decomposition."""
+
+    cost: float
+    time: float
+    spot_cost: float
+    ondemand_cost: float
+    expected_min_ratio: float
+    expected_max_wall: float
+    completion_probability: float
+
+    def meets_deadline(self, deadline: float) -> bool:
+        return self.time <= deadline + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Extreme-value helpers over independent discrete non-negative RVs
+# ----------------------------------------------------------------------
+def _survival_at(
+    values: np.ndarray, pmf: np.ndarray, grid: np.ndarray
+) -> np.ndarray:
+    """``P(Y >= g)`` for each grid point, for a discrete RV (values, pmf)."""
+    order = np.argsort(values, kind="stable")
+    vs = values[order]
+    ps = pmf[order]
+    tail = np.cumsum(ps[::-1])[::-1]  # tail[k] = P(Y >= vs[k])
+    idx = np.searchsorted(vs, grid, side="left")
+    out = np.zeros(grid.size)
+    inside = idx < vs.size
+    out[inside] = tail[idx[inside]]
+    return out
+
+
+def expected_min(
+    values_list: Sequence[np.ndarray], pmf_list: Sequence[np.ndarray]
+) -> float:
+    """``E[min_i Y_i]`` for independent discrete non-negative RVs."""
+    grid = np.unique(np.concatenate([np.asarray(v, float) for v in values_list]))
+    grid = grid[grid > 0]
+    if grid.size == 0:
+        return 0.0
+    surv = np.ones(grid.size)
+    for values, pmf in zip(values_list, pmf_list):
+        surv *= _survival_at(np.asarray(values, float), np.asarray(pmf, float), grid)
+    deltas = np.diff(np.concatenate([[0.0], grid]))
+    return float(np.dot(deltas, surv))
+
+
+def expected_max(
+    values_list: Sequence[np.ndarray], pmf_list: Sequence[np.ndarray]
+) -> float:
+    """``E[max_i Y_i]`` for independent discrete non-negative RVs."""
+    grid = np.unique(np.concatenate([np.asarray(v, float) for v in values_list]))
+    grid = grid[grid > 0]
+    if grid.size == 0:
+        return 0.0
+    # P(max >= g) = 1 - prod_i (1 - P(Y_i >= g))
+    prod_below = np.ones(grid.size)
+    for values, pmf in zip(values_list, pmf_list):
+        prod_below *= 1.0 - _survival_at(
+            np.asarray(values, float), np.asarray(pmf, float), grid
+        )
+    deltas = np.diff(np.concatenate([[0.0], grid]))
+    return float(np.dot(deltas, 1.0 - prod_below))
+
+
+# ----------------------------------------------------------------------
+# Evaluators
+# ----------------------------------------------------------------------
+def evaluate(
+    outcomes: Sequence[GroupOutcome], ondemand: OnDemandOption
+) -> Expectation:
+    """Exact expected cost/time via per-group marginals (fast path)."""
+    if not outcomes:
+        raise ConfigurationError("need at least one group outcome")
+    spot_cost = sum(o.expected_spot_cost() for o in outcomes)
+    ratios = [o.ratios for o in outcomes]
+    walls = [o.wall for o in outcomes]
+    pmfs = [o.pmf for o in outcomes]
+    e_min_ratio = expected_min(ratios, pmfs)
+    e_max_wall = expected_max(walls, pmfs)
+    od_cost = e_min_ratio * ondemand.full_run_cost
+    time = e_max_wall + e_min_ratio * ondemand.exec_time
+    completion = 1.0 - float(
+        np.prod([1.0 - o.completion_probability for o in outcomes])
+    )
+    return Expectation(
+        cost=spot_cost + od_cost,
+        time=time,
+        spot_cost=spot_cost,
+        ondemand_cost=od_cost,
+        expected_min_ratio=e_min_ratio,
+        expected_max_wall=e_max_wall,
+        completion_probability=completion,
+    )
+
+
+def evaluate_enumerated(
+    outcomes: Sequence[GroupOutcome],
+    ondemand: OnDemandOption,
+    max_states: int = 20_000_000,
+) -> Expectation:
+    """Naive joint enumeration over all failure-time vectors.
+
+    This is the paper's literal ``O(prod_i T_i)`` sum (Formulas 2 and 8),
+    kept as a verification oracle for :func:`evaluate`.
+    """
+    if not outcomes:
+        raise ConfigurationError("need at least one group outcome")
+    sizes = [o.pmf.size for o in outcomes]
+    total = int(np.prod(sizes))
+    if total > max_states:
+        raise ConfigurationError(
+            f"joint state space {total} exceeds max_states={max_states}; "
+            "use evaluate() instead"
+        )
+    k = len(outcomes)
+    shape_of = lambda i: tuple(
+        sizes[j] if j == i else 1 for j in range(k)
+    )  # noqa: E731 - local broadcasting helper
+
+    joint_p = np.ones((1,) * k)
+    for i, o in enumerate(outcomes):
+        joint_p = joint_p * o.pmf.reshape(shape_of(i))
+
+    spot = np.zeros((1,) * k)
+    for i, o in enumerate(outcomes):
+        per_state = o.expected_price * o.spec.n_instances * o.wall
+        spot = spot + per_state.reshape(shape_of(i))
+
+    min_ratio = np.full(tuple(sizes), np.inf)
+    max_wall = np.zeros(tuple(sizes))
+    for i, o in enumerate(outcomes):
+        min_ratio = np.minimum(min_ratio, o.ratios.reshape(shape_of(i)))
+        max_wall = np.maximum(max_wall, o.wall.reshape(shape_of(i)))
+
+    e_spot = float((joint_p * spot).sum())
+    e_min_ratio = float((joint_p * min_ratio).sum())
+    e_max_wall = float((joint_p * max_wall).sum())
+    od_cost = e_min_ratio * ondemand.full_run_cost
+    time = e_max_wall + e_min_ratio * ondemand.exec_time
+    completion = 1.0 - float(
+        np.prod([1.0 - o.completion_probability for o in outcomes])
+    )
+    return Expectation(
+        cost=e_spot + od_cost,
+        time=time,
+        spot_cost=e_spot,
+        ondemand_cost=od_cost,
+        expected_min_ratio=e_min_ratio,
+        expected_max_wall=e_max_wall,
+        completion_probability=completion,
+    )

@@ -1,0 +1,76 @@
+"""On-demand type selection (Section 4.1).
+
+The cost of the on-demand fallback is independent of the spot-side
+decisions (Formulas 4 and 6 decompose), so the paper selects the fallback
+type ``d*`` first: the cheapest full-run option whose execution time fits
+within ``Deadline * (1 - Slack)``, where the slack reserves time for
+checkpointing and recovery (Formulas 12-13).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..errors import InfeasibleError
+from ..units import check_fraction, check_positive
+from .problem import OnDemandOption
+
+
+def select_ondemand(
+    options: Sequence[OnDemandOption],
+    deadline: float,
+    slack: float,
+) -> Tuple[int, OnDemandOption]:
+    """Pick the index and option minimising ``T_d * D_d * M_d`` subject to
+    ``T_d <= Deadline * (1 - Slack)``.
+
+    Raises
+    ------
+    InfeasibleError
+        If no option meets the slacked deadline.  The error message names
+        the fastest option so callers can report how far off it is.
+    """
+    check_positive("deadline", deadline)
+    check_fraction("slack", slack)
+    budget = deadline * (1.0 - slack)
+    feasible = [
+        (opt.full_run_cost, i) for i, opt in enumerate(options) if opt.exec_time <= budget
+    ]
+    if not feasible:
+        fastest = min(options, key=lambda o: o.exec_time)
+        raise InfeasibleError(
+            f"no on-demand option fits {budget:.3g} h "
+            f"(= deadline {deadline:.3g} h x (1 - slack {slack:.2f})); "
+            f"fastest is {fastest.itype.name} at {fastest.exec_time:.3g} h"
+        )
+    _, best = min(feasible)
+    return best, options[best]
+
+
+def select_ondemand_relaxed(
+    options: Sequence[OnDemandOption],
+    deadline: float,
+    slack: float,
+) -> Tuple[int, OnDemandOption]:
+    """:func:`select_ondemand`, but degrade gracefully under tight deadlines.
+
+    With a tight deadline (e.g. the paper's 1.05x Baseline Time) the
+    slack-reduced budget can exclude *every* type even though the fastest
+    type meets the raw deadline; in that case the slack is dropped.  Only
+    when nothing fits the raw deadline either is the problem genuinely
+    infeasible.
+    """
+    try:
+        return select_ondemand(options, deadline, slack)
+    except InfeasibleError:
+        return select_ondemand(options, deadline, 0.0)
+
+
+def feasible_options(
+    options: Sequence[OnDemandOption], deadline: float, slack: float
+) -> list[int]:
+    """Indices of all options that meet the slacked deadline."""
+    check_positive("deadline", deadline)
+    check_fraction("slack", slack)
+    budget = deadline * (1.0 - slack)
+    return [i for i, opt in enumerate(options) if opt.exec_time <= budget]

@@ -1,0 +1,187 @@
+"""Problem definition (Section 3).
+
+A *circle group* is an independent replica candidate: spot instances of
+one type in one availability zone, sized so that every MPI process gets a
+core (``M_i = ceil(N / cores)``).  The optimizer picks
+
+* which groups to use (at most ``kappa`` of the ``K`` candidates),
+* a bid price ``P_i`` for each used group,
+* a checkpoint interval ``F_i`` for each used group, and
+* the on-demand instance type ``d`` used to recover if every group dies,
+
+to minimise expected monetary cost subject to an expected-time deadline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..cloud.instance_types import InstanceType, instances_needed
+from ..errors import ConfigurationError
+from ..market.history import MarketKey
+from ..units import check_nonnegative, check_positive
+
+
+@dataclass(frozen=True)
+class CircleGroupSpec:
+    """Static description of one circle-group candidate.
+
+    Attributes
+    ----------
+    key:
+        The spot market this group bids into.
+    itype:
+        Instance type (must match ``key.instance_type``).
+    n_instances:
+        Fleet size ``M_i`` — one MPI process per core.
+    exec_time:
+        ``T_i``: productive hours to complete the application on this
+        group, excluding all checkpoint/recovery overhead.
+    checkpoint_overhead:
+        ``O_i``: wall hours added per checkpoint.
+    recovery_overhead:
+        ``R_i``: wall hours to restart from a stored checkpoint.
+    image_bytes:
+        Size of one coordinated checkpoint image (all ranks); used only
+        for S3 storage-cost accounting, which the paper shows to be
+        negligible (< 0.1% of the bill).  0 disables the accounting.
+    """
+
+    key: MarketKey
+    itype: InstanceType
+    n_instances: int
+    exec_time: float
+    checkpoint_overhead: float
+    recovery_overhead: float
+    image_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.key.instance_type != self.itype.name:
+            raise ConfigurationError(
+                f"market {self.key} does not match instance type {self.itype.name}"
+            )
+        if self.n_instances < 1:
+            raise ConfigurationError("n_instances must be >= 1")
+        check_positive("exec_time", self.exec_time)
+        check_nonnegative("checkpoint_overhead", self.checkpoint_overhead)
+        check_nonnegative("recovery_overhead", self.recovery_overhead)
+        check_nonnegative("image_bytes", self.image_bytes)
+
+    @classmethod
+    def for_processes(
+        cls,
+        key: MarketKey,
+        itype: InstanceType,
+        n_processes: int,
+        exec_time: float,
+        checkpoint_overhead: float,
+        recovery_overhead: float,
+    ) -> "CircleGroupSpec":
+        """Build a spec with ``M_i`` derived from the process count."""
+        return cls(
+            key=key,
+            itype=itype,
+            n_instances=instances_needed(itype, n_processes),
+            exec_time=exec_time,
+            checkpoint_overhead=checkpoint_overhead,
+            recovery_overhead=recovery_overhead,
+        )
+
+
+@dataclass(frozen=True)
+class OnDemandOption:
+    """One candidate fallback on-demand configuration (type ``d``)."""
+
+    itype: InstanceType
+    n_instances: int
+    exec_time: float  # T_d, hours
+
+    def __post_init__(self) -> None:
+        if self.n_instances < 1:
+            raise ConfigurationError("n_instances must be >= 1")
+        check_positive("exec_time", self.exec_time)
+
+    @property
+    def fleet_rate(self) -> float:
+        """Dollars per hour for the whole fleet (``D_d * M_d``)."""
+        return self.itype.ondemand_price * self.n_instances
+
+    @property
+    def full_run_cost(self) -> float:
+        """Cost of a complete from-scratch run (``T_d * D_d * M_d``)."""
+        return self.exec_time * self.fleet_rate
+
+
+@dataclass(frozen=True)
+class Problem:
+    """The constrained optimization problem (Formula 1)."""
+
+    groups: Tuple[CircleGroupSpec, ...]
+    ondemand_options: Tuple[OnDemandOption, ...]
+    deadline: float  # hours
+
+    def __post_init__(self) -> None:
+        if not self.groups:
+            raise ConfigurationError("need at least one circle-group candidate")
+        if not self.ondemand_options:
+            raise ConfigurationError("need at least one on-demand option")
+        check_positive("deadline", self.deadline)
+        keys = [g.key for g in self.groups]
+        if len(set(keys)) != len(keys):
+            raise ConfigurationError("duplicate circle-group market keys")
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.groups)
+
+
+@dataclass(frozen=True)
+class GroupDecision:
+    """The per-group part of a decision: bid price and checkpoint interval."""
+
+    group_index: int
+    bid: float
+    interval: float  # F_i, hours; interval >= T_i means "no checkpoints"
+
+    def __post_init__(self) -> None:
+        if self.group_index < 0:
+            raise ConfigurationError("group_index must be >= 0")
+        check_nonnegative("bid", self.bid)
+        check_positive("interval", self.interval)
+
+
+@dataclass(frozen=True)
+class Decision:
+    """A complete assignment of the decision variables."""
+
+    groups: Tuple[GroupDecision, ...]
+    ondemand_index: int
+
+    def __post_init__(self) -> None:
+        if self.ondemand_index < 0:
+            raise ConfigurationError("ondemand_index must be >= 0")
+        idx = [g.group_index for g in self.groups]
+        if len(set(idx)) != len(idx):
+            raise ConfigurationError("a group may appear at most once in a decision")
+
+    @property
+    def group_indices(self) -> Tuple[int, ...]:
+        return tuple(g.group_index for g in self.groups)
+
+    def describe(self, problem: Problem) -> str:
+        """Human-readable summary used by examples and experiment output."""
+        lines = []
+        for gd in self.groups:
+            spec = problem.groups[gd.group_index]
+            lines.append(
+                f"  {spec.key}: bid=${gd.bid:.4f}/h, "
+                f"checkpoint every {gd.interval:.2f} h, "
+                f"M={spec.n_instances}, T={spec.exec_time:.2f} h"
+            )
+        od = problem.ondemand_options[self.ondemand_index]
+        lines.append(
+            f"  fallback: {od.itype.name} x{od.n_instances} on-demand "
+            f"(T={od.exec_time:.2f} h, ${od.fleet_rate:.2f}/h)"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""The remaining-work function ``Ratio(t, F)`` (Formula 7).
+
+``Ratio`` is the fraction of the application that must be re-executed on
+on-demand instances after a circle group is terminated at productive time
+``t``:
+
+* ``t == T`` — the application completed; nothing remains (``0``).
+* ``t <  F`` — the first checkpoint (taken at productive time ``F``) was
+  never reached, so all progress is lost (``1``).
+* ``t >= F`` — progress up to the last completed checkpoint,
+  ``floor(t / F) * F``, survives; the recovery overhead ``R`` is charged
+  on top of the remaining work.  The result is capped at ``1`` because
+  restarting from scratch (and paying no recovery) dominates any worse
+  checkpoint.
+
+The ACM text of Formula 7 is garbled; this reconstruction follows the
+surrounding prose (see DESIGN.md section 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+_COMPLETE_ATOL = 1e-12
+
+
+def ratio(t: float, exec_time: float, interval: float, recovery: float) -> float:
+    """Scalar ``Ratio(t, F)`` for one circle group.
+
+    Parameters
+    ----------
+    t:
+        Productive time at termination, hours, in ``[0, exec_time]``.
+    exec_time:
+        ``T``: full productive time of the application on this group.
+    interval:
+        ``F``: checkpoint interval; ``F >= T`` disables checkpointing.
+    recovery:
+        ``R``: restart overhead, hours.
+    """
+    _validate(exec_time, interval, recovery)
+    if t < 0 or t > exec_time + _COMPLETE_ATOL:
+        raise ConfigurationError(
+            f"t={t} outside [0, T={exec_time}]"
+        )
+    if t >= exec_time - _COMPLETE_ATOL:
+        return 0.0
+    if t < interval:
+        return 1.0
+    saved = np.floor(t / interval) * interval
+    return float(min(1.0, (exec_time - saved + recovery) / exec_time))
+
+
+def ratio_array(
+    t: np.ndarray, exec_time: float, interval: float, recovery: float
+) -> np.ndarray:
+    """Vectorised :func:`ratio` over an array of termination times."""
+    _validate(exec_time, interval, recovery)
+    t = np.asarray(t, dtype=float)
+    if t.size and (t.min() < 0 or t.max() > exec_time + _COMPLETE_ATOL):
+        raise ConfigurationError("termination times outside [0, T]")
+    saved = np.floor(t / interval) * interval
+    out = np.minimum(1.0, (exec_time - saved + recovery) / exec_time)
+    out = np.where(t < interval, 1.0, out)
+    out = np.where(t >= exec_time - _COMPLETE_ATOL, 0.0, out)
+    return out
+
+
+def _validate(exec_time: float, interval: float, recovery: float) -> None:
+    if exec_time <= 0:
+        raise ConfigurationError(f"exec_time must be > 0, got {exec_time}")
+    if interval <= 0:
+        raise ConfigurationError(f"interval must be > 0, got {interval}")
+    if recovery < 0:
+        raise ConfigurationError(f"recovery must be >= 0, got {recovery}")

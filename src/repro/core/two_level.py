@@ -1,0 +1,292 @@
+"""Two-level optimization (Section 4.2).
+
+Level 1 — *dimension reduction*: for every group and every candidate bid,
+the checkpoint interval is fixed to ``phi(P)`` (:mod:`.interval`), so the
+search runs over bids alone.
+
+Level 2 — *logarithmic bid search*: each group contributes ``L + 1``
+geometric bid candidates; a subset of ``k`` groups therefore has
+``(L+1)**k`` bid combinations.  All combinations are evaluated **at
+once** with NumPy broadcasting:
+
+* the separable spot cost is a sum of per-(group, bid) scalars,
+* ``E[min_i Ratio_i]`` is a product of per-(group, bid) survival rows on
+  a shared midpoint grid, and
+* ``E[max_i X_i]`` is a product of per-(group, bid) CDF rows likewise,
+
+so one subset evaluation is a handful of ``(combos, grid)`` array
+products instead of ``(L+1)**k`` python-level model evaluations.  The
+grid introduces a small quadrature error, so the winning combination is
+re-evaluated exactly (and, if the exact check violates the deadline, the
+next-best candidates are tried in order).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import DEFAULT_CONFIG, SompiConfig
+from ..errors import ConfigurationError
+from ..market.failure import FailureModel
+from ..market.history import MarketKey
+from .bid_search import log_bid_candidates
+from .cost_model import Expectation, GroupOutcome, evaluate
+from .interval import optimal_interval
+from .problem import Decision, GroupDecision, OnDemandOption, Problem
+
+_RATIO_GRID = 256
+_WALL_GRID = 256
+_MAX_BATCH = 65536
+_EXACT_FALLBACK_TRIES = 32
+
+
+@dataclass
+class _GroupTable:
+    """Per-group precomputation: one row per candidate bid."""
+
+    group_index: int
+    bids: np.ndarray  # (nb,)
+    intervals: np.ndarray  # (nb,)
+    outcomes: list[GroupOutcome]
+    e_spot: np.ndarray  # (nb,) expected spot cost S*M*E[X]
+    surv_ratio: np.ndarray  # (nb, RATIO_GRID) P(ratio >= midpoint)
+    surv_wall: np.ndarray  # (nb, WALL_GRID)  P(wall  >= midpoint)
+
+    @property
+    def n_bids(self) -> int:
+        return int(self.bids.size)
+
+
+@dataclass(frozen=True)
+class SubsetResult:
+    """Best decision found for one fixed subset of circle groups."""
+
+    group_indices: Tuple[int, ...]
+    bids: Tuple[float, ...]
+    intervals: Tuple[float, ...]
+    expectation: Expectation
+    combos_evaluated: int
+
+    def to_decision(self, ondemand_index: int) -> Decision:
+        return Decision(
+            groups=tuple(
+                GroupDecision(gi, bid, interval)
+                for gi, bid, interval in zip(
+                    self.group_indices, self.bids, self.intervals
+                )
+            ),
+            ondemand_index=ondemand_index,
+        )
+
+
+def _survival_rows(values: np.ndarray, pmf: np.ndarray, midpoints: np.ndarray) -> np.ndarray:
+    """``P(Y >= m)`` for each midpoint, one discrete RV."""
+    order = np.argsort(values, kind="stable")
+    vs, ps = values[order], pmf[order]
+    tail = np.cumsum(ps[::-1])[::-1]
+    idx = np.searchsorted(vs, midpoints, side="left")
+    out = np.zeros(midpoints.size)
+    inside = idx < vs.size
+    out[inside] = tail[idx[inside]]
+    return out
+
+
+class TwoLevelOptimizer:
+    """Optimizes bids and intervals for subsets of circle groups."""
+
+    def __init__(
+        self,
+        problem: Problem,
+        failure_models: Mapping[MarketKey, FailureModel],
+        ondemand: OnDemandOption,
+        config: SompiConfig = DEFAULT_CONFIG,
+    ) -> None:
+        self.problem = problem
+        self.ondemand = ondemand
+        self.config = config
+        self._models: dict[int, FailureModel] = {}
+        for i, spec in enumerate(problem.groups):
+            try:
+                self._models[i] = failure_models[spec.key]
+            except KeyError:
+                raise ConfigurationError(
+                    f"no failure model supplied for market {spec.key}"
+                ) from None
+        self._tables: dict[int, _GroupTable] = {}
+        self._grids_ready = False
+        self.combos_evaluated = 0
+
+    # ------------------------------------------------------------------
+    # Precomputation
+    # ------------------------------------------------------------------
+    def _build_tables(self) -> None:
+        """Build all group tables and the shared quadrature grids."""
+        if self._grids_ready:
+            return
+        step = self.config.time_step_hours
+        raw: dict[int, tuple[np.ndarray, np.ndarray, list[GroupOutcome]]] = {}
+        wall_hi = 0.0
+        for i, spec in enumerate(self.problem.groups):
+            fm = self._models[i]
+            bids = log_bid_candidates(
+                fm.max_price(), self.config.bid_levels, floor_price=fm.min_price()
+            )
+            intervals = np.empty(bids.size)
+            outcomes: list[GroupOutcome] = []
+            for b, bid in enumerate(bids):
+                if not self.config.checkpointing:
+                    interval = spec.exec_time  # w/o-CK ablation: no checkpoints
+                else:
+                    interval = optimal_interval(
+                        spec,
+                        float(bid),
+                        fm,
+                        self.ondemand,
+                        step_hours=step,
+                        refine=self.config.interval_refine,
+                    )
+                outcome = GroupOutcome.build(spec, float(bid), interval, fm, step)
+                intervals[b] = interval
+                outcomes.append(outcome)
+                wall_hi = max(wall_hi, float(outcome.wall.max()))
+            raw[i] = (bids, intervals, outcomes)
+
+        wall_hi = max(wall_hi, 1e-9)
+        ratio_mid = (np.arange(_RATIO_GRID) + 0.5) / _RATIO_GRID  # over [0, 1]
+        wall_mid = (np.arange(_WALL_GRID) + 0.5) * (wall_hi / _WALL_GRID)
+        self._ratio_delta = 1.0 / _RATIO_GRID
+        self._wall_delta = wall_hi / _WALL_GRID
+
+        for i, (bids, intervals, outcomes) in raw.items():
+            nb = bids.size
+            e_spot = np.array([o.expected_spot_cost() for o in outcomes])
+            surv_ratio = np.empty((nb, _RATIO_GRID))
+            surv_wall = np.empty((nb, _WALL_GRID))
+            for b, o in enumerate(outcomes):
+                surv_ratio[b] = _survival_rows(o.ratios, o.pmf, ratio_mid)
+                surv_wall[b] = _survival_rows(o.wall, o.pmf, wall_mid)
+            self._tables[i] = _GroupTable(
+                i, bids, intervals, outcomes, e_spot, surv_ratio, surv_wall
+            )
+        self._grids_ready = True
+
+    def group_table(self, group_index: int) -> _GroupTable:
+        """Expose a group's precomputed table (used by experiments)."""
+        self._build_tables()
+        return self._tables[group_index]
+
+    # ------------------------------------------------------------------
+    # Subset optimization
+    # ------------------------------------------------------------------
+    def optimize_subset(
+        self,
+        group_indices: Sequence[int],
+        objective: str = "cost",
+        budget: Optional[float] = None,
+    ) -> Optional[SubsetResult]:
+        """Best (bids, intervals) for this subset, or ``None`` if no bid
+        combination satisfies the constraint in exact evaluation.
+
+        ``objective="cost"`` (the paper's problem): minimise expected
+        cost subject to expected time <= deadline.  ``objective="time"``
+        (the dual, budget-constrained problem): minimise expected time
+        subject to expected cost <= ``budget``.
+        """
+        indices = tuple(group_indices)
+        if len(indices) == 0:
+            raise ConfigurationError("subset must contain at least one group")
+        if len(set(indices)) != len(indices):
+            raise ConfigurationError(f"duplicate groups in subset {indices}")
+        if objective not in ("cost", "time"):
+            raise ConfigurationError(f"unknown objective {objective!r}")
+        if objective == "time" and budget is None:
+            raise ConfigurationError("objective='time' requires a budget")
+        self._build_tables()
+        tables = [self._tables[i] for i in indices]
+        sizes = [t.n_bids for t in tables]
+        total = int(np.prod(sizes))
+
+        candidates: list[tuple[float, float, tuple[int, ...]]] = []
+
+        for batch in _combo_batches(sizes, _MAX_BATCH):
+            # batch: (C, k) integer bid indices
+            cost_spot = np.zeros(batch.shape[0])
+            surv_r = np.ones((batch.shape[0], _RATIO_GRID))
+            prod_below_w = np.ones((batch.shape[0], _WALL_GRID))
+            for g, table in enumerate(tables):
+                rows = batch[:, g]
+                cost_spot += table.e_spot[rows]
+                surv_r *= table.surv_ratio[rows]
+                prod_below_w *= 1.0 - table.surv_wall[rows]
+            e_min_ratio = self._ratio_delta * surv_r.sum(axis=1)
+            e_max_wall = self._wall_delta * (1.0 - prod_below_w).sum(axis=1)
+            cost = cost_spot + e_min_ratio * self.ondemand.full_run_cost
+            time = e_max_wall + e_min_ratio * self.ondemand.exec_time
+            # Keep a slightly generous feasibility margin; the exact
+            # re-evaluation below is the authority.
+            if objective == "cost":
+                constraint, score = time, cost
+                limit = self.problem.deadline
+            else:
+                constraint, score = cost, time
+                limit = budget
+            feasible = np.flatnonzero(constraint <= limit * 1.02 + 1e-9)
+            if feasible.size > _EXACT_FALLBACK_TRIES:
+                top = np.argpartition(score[feasible], _EXACT_FALLBACK_TRIES)
+                feasible = feasible[top[:_EXACT_FALLBACK_TRIES]]
+            for c in feasible:
+                candidates.append((float(score[c]), float(cost[c]), tuple(batch[c])))
+        self.combos_evaluated += total
+
+        if not candidates:
+            return None
+        candidates.sort(key=lambda item: item[0])
+        for _score, _cost, combo in candidates[:_EXACT_FALLBACK_TRIES]:
+            outcomes = [t.outcomes[b] for t, b in zip(tables, combo)]
+            exact = evaluate(outcomes, self.ondemand)
+            ok = (
+                exact.meets_deadline(self.problem.deadline)
+                if objective == "cost"
+                else exact.cost <= budget + 1e-9
+            )
+            if ok and self.config.max_miss_probability is not None:
+                from .chance import miss_probability
+
+                ok = (
+                    miss_probability(
+                        outcomes, self.ondemand, self.problem.deadline
+                    )
+                    <= self.config.max_miss_probability + 1e-9
+                )
+            if ok:
+                return SubsetResult(
+                    group_indices=indices,
+                    bids=tuple(float(t.bids[b]) for t, b in zip(tables, combo)),
+                    intervals=tuple(
+                        float(t.intervals[b]) for t, b in zip(tables, combo)
+                    ),
+                    expectation=exact,
+                    combos_evaluated=total,
+                )
+        return None
+
+
+def _combo_batches(sizes: Sequence[int], max_batch: int):
+    """Yield (C, k) index arrays covering the product space in batches."""
+    total = int(np.prod(sizes))
+    k = len(sizes)
+    if total <= max_batch:
+        grids = np.indices(sizes).reshape(k, total).T
+        yield np.ascontiguousarray(grids)
+        return
+    # Stream the product in chunks without materialising it all.
+    it = itertools.product(*[range(s) for s in sizes])
+    while True:
+        chunk = list(itertools.islice(it, max_batch))
+        if not chunk:
+            return
+        yield np.asarray(chunk, dtype=np.intp)

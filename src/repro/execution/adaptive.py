@@ -1,0 +1,226 @@
+"""Algorithm 1 — adaptive windowed re-optimization (Section 4.3).
+
+Every ``T_m`` hours the executor refreshes the failure-rate functions
+with the just-observed window of spot prices, re-optimizes the decision
+for the *remaining* work under the *remaining* deadline, and runs one
+more window.  Progress is carried across windows through the best
+checkpoint (the application state is checkpointed at every window
+boundary, Algorithm 1 line 22).  When the remaining deadline can no
+longer absorb another spot window plus the on-demand recovery, the
+executor falls back to on-demand for the rest — the deadline guard of
+Algorithm 1 lines 6-9.
+
+``refresh_models=False`` gives the paper's w/o-MT ablation: the initial
+failure models and decision are kept for the whole run, so drifting spot
+distributions go unnoticed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+from typing import Optional, Sequence
+
+from ..config import DEFAULT_CONFIG, SompiConfig
+from ..core.ondemand_select import select_ondemand
+from ..core.optimizer import SompiOptimizer, build_failure_models
+from ..core.problem import OnDemandOption, Problem
+from ..errors import ConfigurationError, InfeasibleError
+from ..market.history import SpotPriceHistory
+from .replay import replay_window
+
+_MAX_WINDOWS = 10_000
+_MIN_WORK_FRACTION = 1e-9
+
+
+@dataclass(frozen=True)
+class WindowRecord:
+    """One optimization window's outcome."""
+
+    index: int
+    t0: float
+    t1: float
+    fraction_before: float
+    fraction_after: float
+    cost: float
+    used_groups: tuple[str, ...]
+    completed: bool
+
+
+@dataclass(frozen=True)
+class AdaptiveResult:
+    """Outcome of one adaptive execution."""
+
+    cost: float
+    makespan: float
+    completed: bool
+    fallback_used: bool
+    windows: tuple[WindowRecord, ...]
+    deadline: float
+
+    @property
+    def met_deadline(self) -> bool:
+        return self.completed and self.makespan <= self.deadline + 1e-9
+
+
+def _scaled_problem(problem: Problem, fraction_left: float, deadline: float) -> Problem:
+    """The remaining-work sub-problem for one window."""
+    groups = tuple(
+        dc_replace(g, exec_time=g.exec_time * fraction_left) for g in problem.groups
+    )
+    options = tuple(
+        OnDemandOption(o.itype, o.n_instances, o.exec_time * fraction_left)
+        for o in problem.ondemand_options
+    )
+    return Problem(groups=groups, ondemand_options=options, deadline=deadline)
+
+
+class AdaptiveExecutor:
+    """Runs one application to completion with Algorithm 1."""
+
+    def __init__(
+        self,
+        problem: Problem,
+        history: SpotPriceHistory,
+        config: SompiConfig = DEFAULT_CONFIG,
+        training_hours: float = 72.0,
+        refresh_models: bool = True,
+        semantics: str = "single-shot",
+    ) -> None:
+        if training_hours <= 0:
+            raise ConfigurationError("training_hours must be > 0")
+        if semantics not in ("single-shot", "persistent"):
+            raise ConfigurationError(f"unknown semantics {semantics!r}")
+        self.problem = problem
+        self.history = history
+        self.config = config
+        self.training_hours = training_hours
+        self.refresh_models = refresh_models
+        self.semantics = semantics
+        self._frozen_models = None
+
+    # ------------------------------------------------------------------
+    def _models_at(self, now: float):
+        """Failure models learned from the trailing training window."""
+        if not self.refresh_models and self._frozen_models is not None:
+            return self._frozen_models
+        t0 = now - self.training_hours
+        windowed = SpotPriceHistory()
+        for spec in self.problem.groups:
+            trace = self.history.get(spec.key)
+            lo = max(trace.start_time, t0)
+            windowed.add(spec.key, trace.slice(lo, now))
+        models = build_failure_models(
+            self.problem, windowed, step_hours=self.config.time_step_hours
+        )
+        if not self.refresh_models:
+            self._frozen_models = models
+        return models
+
+    def run(self, start_time: float) -> AdaptiveResult:
+        problem = self.problem
+        deadline_abs = start_time + problem.deadline
+        done = 0.0
+        now = start_time
+        cost = 0.0
+        windows: list[WindowRecord] = []
+        frozen_decision = None
+
+        for index in range(_MAX_WINDOWS):
+            left = 1.0 - done
+            if left <= _MIN_WORK_FRACTION:
+                return self._finish(cost, now - start_time, True, False, windows)
+            remaining_deadline = deadline_abs - now
+
+            # Deadline guard (Algorithm 1 lines 6-9): keep enough time to
+            # run the rest on the fastest feasible on-demand type.
+            try:
+                _, od = select_ondemand(
+                    [
+                        OnDemandOption(o.itype, o.n_instances, o.exec_time * left)
+                        for o in problem.ondemand_options
+                    ],
+                    max(remaining_deadline, 1e-9),
+                    self.config.slack,
+                )
+            except InfeasibleError:
+                od = min(
+                    (
+                        OnDemandOption(o.itype, o.n_instances, o.exec_time * left)
+                        for o in problem.ondemand_options
+                    ),
+                    key=lambda o: o.exec_time,
+                )
+            # Time still available for spot execution before we must hand
+            # the remaining work to on-demand to make the deadline.
+            spot_time_left = remaining_deadline - od.exec_time
+            if spot_time_left < min(self.config.window_hours, 1.0):
+                cost += od.full_run_cost
+                makespan = (now - start_time) + od.exec_time
+                return self._finish(cost, makespan, True, True, windows)
+
+            window_len = min(self.config.window_hours, spot_time_left)
+            t1 = now + window_len
+            sub = _scaled_problem(problem, left, remaining_deadline)
+
+            if self.refresh_models or frozen_decision is None:
+                models = self._models_at(now)
+                plan = SompiOptimizer(sub, models, self.config).plan()
+                decision = plan.decision
+                if not self.refresh_models:
+                    frozen_decision = decision
+            else:
+                decision = frozen_decision
+
+            if not decision.groups:
+                # Optimizer says on-demand is the cheapest way to finish.
+                od_opt = sub.ondemand_options[decision.ondemand_index]
+                cost += od_opt.full_run_cost
+                makespan = (now - start_time) + od_opt.exec_time
+                return self._finish(cost, makespan, True, True, windows)
+
+            outcome = replay_window(
+                sub,
+                decision,
+                self.history,
+                now,
+                t1,
+                persistent=(self.semantics == "persistent"),
+            )
+            cost += outcome.cost
+            used = tuple(
+                str(sub.groups[g.group_index].key) for g in decision.groups
+            )
+            if outcome.completed:
+                makespan = outcome.completion_time - start_time
+                windows.append(
+                    WindowRecord(index, now, t1, done, 1.0, outcome.cost, used, True)
+                )
+                return self._finish(cost, makespan, True, False, windows)
+
+            new_done = done + outcome.gained_fraction * left
+            windows.append(
+                WindowRecord(index, now, t1, done, new_done, outcome.cost, used, False)
+            )
+            done = new_done
+            now = t1
+
+        raise ConfigurationError(
+            f"adaptive execution did not converge within {_MAX_WINDOWS} windows"
+        )
+
+    def _finish(
+        self,
+        cost: float,
+        makespan: float,
+        completed: bool,
+        fallback: bool,
+        windows: Sequence[WindowRecord],
+    ) -> AdaptiveResult:
+        return AdaptiveResult(
+            cost=cost,
+            makespan=makespan,
+            completed=completed,
+            fallback_used=fallback,
+            windows=tuple(windows),
+            deadline=self.problem.deadline,
+        )

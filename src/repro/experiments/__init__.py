@@ -1,0 +1,28 @@
+"""Reproduction of every table and figure in the paper's evaluation.
+
+One module per artifact (see DESIGN.md section 4 for the index):
+
+========  ==========================================================
+module    paper artifact
+========  ==========================================================
+fig1      Figure 1 — spot-price temporal/spatial variation
+fig2      Figure 2 — stable daily price distributions
+fig4      Figure 4 — failure-rate function and expected spot price
+fig5      Figure 5 — cost vs On-demand / Marathe / Marathe-Opt
+table2    Table 2 — normalised execution times
+fig6      Figure 6 — cost vs Spot-Inf / Spot-Avg heuristics
+fig7      Figure 7 — cost as the deadline loosens (BT, FT, BTIO)
+fig8      Figure 8 — individual fault-tolerance mechanisms
+params    Section 5.2 — Slack / kappa / T_m parameter study
+accuracy  Section 5.4.1 — failure-rate & cost-model accuracy
+reduction Section 4.2.2 — optimization-space reduction counts
+========  ==========================================================
+
+Each module exposes a ``run(env, ...)`` returning a typed result with a
+``format_table()`` method; ``runner.main()`` executes everything and
+prints the rows the paper reports.
+"""
+
+from .env import ExperimentEnv
+
+__all__ = ["ExperimentEnv"]

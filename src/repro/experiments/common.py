@@ -1,0 +1,92 @@
+"""Shared machinery for experiment modules.
+
+Every experiment returns an :class:`ExperimentResult`: a titled table
+(the rows the paper reports) plus free-form notes and a ``data`` payload
+with the raw numbers, so benchmarks can assert on shapes without
+re-parsing formatted text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+from ..baselines import (
+    marathe_decision,
+    marathe_opt_decision,
+    ondemand_decision,
+    spot_avg_decision,
+    spot_inf_decision,
+)
+from ..core.problem import Decision, Problem
+from ..execution.results import MonteCarloSummary
+from .env import ExperimentEnv
+
+
+@dataclass
+class ExperimentResult:
+    """A reproduced table/figure."""
+
+    experiment_id: str
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence[Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"{self.experiment_id}: row has {len(values)} values, "
+                f"expected {len(self.columns)}"
+            )
+        self.rows.append(values)
+
+    def format_table(self) -> str:
+        def fmt(v: Any) -> str:
+            if isinstance(v, float):
+                return f"{v:.3f}"
+            return str(v)
+
+        table = [list(map(fmt, self.columns))] + [
+            list(map(fmt, row)) for row in self.rows
+        ]
+        widths = [max(len(r[c]) for r in table) for c in range(len(self.columns))]
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        for i, row in enumerate(table):
+            lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+            if i == 0:
+                lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+#: The strategies compared in Figures 5 and 6, by label.
+def baseline_decisions(
+    env: ExperimentEnv, problem: Problem, which: Sequence[str]
+) -> Dict[str, Decision]:
+    """Build the requested baseline decisions for one problem."""
+    models = env.failure_models(problem)
+    builders = {
+        "On-demand": lambda: ondemand_decision(problem),
+        "Spot-Inf": lambda: spot_inf_decision(problem, models),
+        "Spot-Avg": lambda: spot_avg_decision(problem, models),
+        "Marathe": lambda: marathe_decision(problem, models),
+        "Marathe-Opt": lambda: marathe_opt_decision(problem, models),
+    }
+    return {name: builders[name]() for name in which}
+
+
+def mc_by_method(
+    env: ExperimentEnv,
+    problem: Problem,
+    decisions: Dict[str, Decision],
+    n_samples: int,
+    stream_prefix: str,
+) -> Dict[str, MonteCarloSummary]:
+    """Monte-Carlo-evaluate several strategies on the same problem."""
+    return {
+        name: env.mc(problem, decision, n_samples, f"{stream_prefix}:{name}")
+        for name, decision in decisions.items()
+    }

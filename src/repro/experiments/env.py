@@ -1,0 +1,237 @@
+"""The canonical experiment environment.
+
+Binds together everything one paper experiment needs: the synthetic
+multi-market spot history, the application models, the per-instance-type
+execution-time and checkpoint estimates, problem construction with
+paper-style deadlines (tight = 1.05x Baseline Time, loose = 1.5x), and
+evaluation helpers (cost-model expectations and Monte-Carlo replay).
+
+The history is split into a *training* prefix — the only part failure
+models may learn from — and an *evaluation* suffix where Monte-Carlo
+replays start, mirroring the paper's method of deciding from recent
+history and then living through the future.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..apps import MPIApplication, make_app
+from ..cloud.instance_types import PAPER_TYPES, get_instance_type, instances_needed
+from ..cloud.s3 import S3Store
+from ..cloud.zones import DEFAULT_ZONES, Zone
+from ..config import DEFAULT_CONFIG, SompiConfig
+from ..core.optimizer import SompiOptimizer, SompiPlan, build_failure_models
+from ..core.problem import CircleGroupSpec, OnDemandOption, Problem, Decision
+from ..core.cost_model import Expectation, GroupOutcome, evaluate
+from ..errors import ConfigurationError
+from ..execution.montecarlo import evaluate_decision_mc
+from ..execution.results import MonteCarloSummary
+from ..market.failure import FailureModel
+from ..market.history import MarketKey, SpotPriceHistory
+from ..market.presets import build_history
+from ..mpi.timing import estimate_checkpoint, estimate_execution_hours
+from ..sim.rng import RngRegistry
+
+#: Paper deadline settings relative to Baseline Time (Section 5.1).
+TIGHT_DEADLINE_FACTOR = 1.05
+LOOSE_DEADLINE_FACTOR = 1.50
+
+
+@dataclass
+class ExperimentEnv:
+    """Shared fixture for all experiments."""
+
+    history: SpotPriceHistory
+    train_end: float  # failure models learn from [0, train_end)
+    seed: int
+    config: SompiConfig = DEFAULT_CONFIG
+    instance_types: Sequence[str] = PAPER_TYPES
+    zones: Sequence[Zone] = DEFAULT_ZONES
+    storage: S3Store = field(default_factory=S3Store)
+
+    def __post_init__(self) -> None:
+        self.rng = RngRegistry(self.seed)
+        self._model_cache: dict[tuple, Mapping[MarketKey, FailureModel]] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def paper_default(
+        cls,
+        seed: int = 7,
+        history_days: float = 35.0,
+        train_days: float = 14.0,
+        config: Optional[SompiConfig] = None,
+        instance_types: Sequence[str] = PAPER_TYPES,
+        zones: Sequence[Zone] = DEFAULT_ZONES,
+    ) -> "ExperimentEnv":
+        """The configuration every experiment starts from.
+
+        35 days of synthetic history per (type, zone); the first 14 days
+        train the failure models, Monte-Carlo replays start in the rest.
+        ``kappa`` defaults to 3 (rather than the paper's 4) to keep the
+        exhaustive subset search snappy over 12 candidate groups; the
+        parameter study sweeps kappa explicitly.
+        """
+        if train_days >= history_days:
+            raise ConfigurationError("train_days must be < history_days")
+        history = build_history(
+            duration_hours=history_days * 24.0,
+            seed=seed,
+            instance_types=instance_types,
+            zones=zones,
+        )
+        return cls(
+            history=history,
+            train_end=train_days * 24.0,
+            seed=seed,
+            config=config or DEFAULT_CONFIG.with_(kappa=3),
+            instance_types=instance_types,
+            zones=zones,
+        )
+
+    # ------------------------------------------------------------------
+    # Application-derived quantities
+    # ------------------------------------------------------------------
+    def app(self, name: str, **kwargs) -> MPIApplication:
+        return make_app(name, **kwargs)
+
+    def exec_time(self, app: MPIApplication, type_name: str) -> float:
+        """``T`` of the extended workload on a fleet of ``type_name``."""
+        return estimate_execution_hours(app.profile(), get_instance_type(type_name))
+
+    def baseline_time(self, app: MPIApplication) -> float:
+        """Baseline Time: the fastest on-demand execution (Section 5.1)."""
+        return min(self.exec_time(app, t) for t in self.instance_types)
+
+    def baseline_cost(self, app: MPIApplication) -> float:
+        """Baseline Cost: the bill of the best-performance on-demand run."""
+        best_t, best_time = None, np.inf
+        for t in self.instance_types:
+            T = self.exec_time(app, t)
+            if T < best_time:
+                best_t, best_time = t, T
+        itype = get_instance_type(best_t)
+        m = instances_needed(itype, app.n_processes)
+        return best_time * itype.ondemand_price * m
+
+    # ------------------------------------------------------------------
+    # Problem construction
+    # ------------------------------------------------------------------
+    def problem(
+        self,
+        app: MPIApplication | str,
+        deadline_factor: float = LOOSE_DEADLINE_FACTOR,
+        deadline_hours: Optional[float] = None,
+    ) -> Problem:
+        """Build the optimization problem for one application.
+
+        ``deadline_factor`` multiplies Baseline Time (tight = 1.05,
+        loose = 1.5); ``deadline_hours`` overrides it outright.
+        """
+        if isinstance(app, str):
+            app = self.app(app)
+        profile = app.profile()
+        groups = []
+        options = []
+        for tname in self.instance_types:
+            itype = get_instance_type(tname)
+            T = estimate_execution_hours(profile, itype)
+            ckpt = estimate_checkpoint(profile, itype, self.storage)
+            m = instances_needed(itype, app.n_processes)
+            options.append(OnDemandOption(itype, m, T))
+            for zone in self.zones:
+                key = MarketKey(tname, zone.name)
+                if key not in self.history:
+                    continue
+                groups.append(
+                    CircleGroupSpec(
+                        key=key,
+                        itype=itype,
+                        n_instances=m,
+                        exec_time=T,
+                        checkpoint_overhead=ckpt.checkpoint_hours,
+                        recovery_overhead=ckpt.recovery_hours,
+                        image_bytes=ckpt.image_bytes,
+                    )
+                )
+        if deadline_hours is None:
+            deadline_hours = deadline_factor * min(o.exec_time for o in options)
+        return Problem(
+            groups=tuple(groups),
+            ondemand_options=tuple(options),
+            deadline=deadline_hours,
+        )
+
+    # ------------------------------------------------------------------
+    # Models, plans, evaluation
+    # ------------------------------------------------------------------
+    def training_history(self) -> SpotPriceHistory:
+        """The history prefix failure models are allowed to see."""
+        windowed = SpotPriceHistory()
+        for key, trace in self.history.items():
+            windowed.add(key, trace.slice(trace.start_time, self.train_end))
+        return windowed
+
+    def failure_models(
+        self, problem: Problem, step_hours: Optional[float] = None
+    ) -> Mapping[MarketKey, FailureModel]:
+        step = step_hours or self.config.time_step_hours
+        cache_key = (tuple(g.key for g in problem.groups), step)
+        models = self._model_cache.get(cache_key)
+        if models is None:
+            models = build_failure_models(
+                problem, self.training_history(), step_hours=step
+            )
+            self._model_cache[cache_key] = models
+        return models
+
+    def sompi_plan(
+        self, problem: Problem, config: Optional[SompiConfig] = None
+    ) -> SompiPlan:
+        config = config or self.config
+        models = self.failure_models(problem, config.time_step_hours)
+        return SompiOptimizer(problem, models, config).plan()
+
+    def expectation(self, problem: Problem, decision: Decision) -> Expectation:
+        """Cost-model expectation of an arbitrary decision (baselines)."""
+        models = self.failure_models(problem)
+        ondemand = problem.ondemand_options[decision.ondemand_index]
+        if not decision.groups:
+            from ..core.optimizer import _ondemand_only_expectation
+
+            return _ondemand_only_expectation(ondemand)
+        outcomes = [
+            GroupOutcome.build(
+                problem.groups[gd.group_index],
+                gd.bid,
+                gd.interval,
+                models[problem.groups[gd.group_index].key],
+                self.config.time_step_hours,
+            )
+            for gd in decision.groups
+        ]
+        return evaluate(outcomes, ondemand)
+
+    def mc(
+        self,
+        problem: Problem,
+        decision: Decision,
+        n_samples: int = 300,
+        stream: str = "mc",
+        semantics: str = "single-shot",
+    ) -> MonteCarloSummary:
+        """Monte-Carlo replay over the evaluation part of the history."""
+        return evaluate_decision_mc(
+            problem,
+            decision,
+            self.history,
+            n_samples,
+            self.rng.fresh(stream),
+            t_min=self.train_end,
+            semantics=semantics,
+        )

@@ -1,0 +1,71 @@
+"""Figure 6 — SOMPI vs naive spot heuristics.
+
+Per application category (computation / communication / IO), the
+average normalised cost of On-demand, Spot-Inf, Spot-Avg and SOMPI under
+both deadlines, plus the run-to-run standard deviation.  Paper shape:
+both naive spot heuristics already beat On-demand; SOMPI beats both; and
+Spot-Inf's cost *variance* dwarfs SOMPI's (it eats every price spike).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from ..apps.base import WorkloadCategory
+from .common import ExperimentResult, baseline_decisions, mc_by_method
+from .env import (
+    ExperimentEnv,
+    LOOSE_DEADLINE_FACTOR,
+    TIGHT_DEADLINE_FACTOR,
+)
+
+METHODS = ("On-demand", "Spot-Inf", "Spot-Avg")
+CATEGORY_APPS = {
+    "Computation": ("BT", "SP", "LU"),
+    "Communication": ("FT", "IS"),
+    "IO": ("BTIO",),
+}
+
+
+def run(env: ExperimentEnv, n_samples: int = 150) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="FIG6",
+        title="Normalised cost vs naive spot heuristics (category averages)",
+        columns=("category", "deadline", *METHODS, "SOMPI", "std(Spot-Inf)", "std(SOMPI)"),
+    )
+    raw: Dict[str, Dict[str, float]] = {}
+    for category, apps in CATEGORY_APPS.items():
+        for dl_name, factor in (
+            ("loose", LOOSE_DEADLINE_FACTOR),
+            ("tight", TIGHT_DEADLINE_FACTOR),
+        ):
+            norm = {m: 0.0 for m in (*METHODS, "SOMPI")}
+            std_inf = std_sompi = 0.0
+            for name in apps:
+                app = env.app(name)
+                baseline_cost = env.baseline_cost(app)
+                problem = env.problem(app, factor)
+                decisions = baseline_decisions(env, problem, METHODS)
+                decisions["SOMPI"] = env.sompi_plan(problem).decision
+                summaries = mc_by_method(
+                    env, problem, decisions, n_samples, f"fig6:{name}:{dl_name}"
+                )
+                for m in norm:
+                    norm[m] += summaries[m].mean_cost / baseline_cost / len(apps)
+                std_inf += summaries["Spot-Inf"].std_cost / baseline_cost / len(apps)
+                std_sompi += summaries["SOMPI"].std_cost / baseline_cost / len(apps)
+            raw[f"{category}:{dl_name}"] = dict(norm)
+            result.add_row(
+                category,
+                dl_name,
+                *[norm[m] for m in METHODS],
+                norm["SOMPI"],
+                std_inf,
+                std_sompi,
+            )
+    result.data["normalized"] = raw
+    cells = list(raw.values())
+    for other in ("Spot-Inf", "Spot-Avg"):
+        saving = sum(1.0 - c["SOMPI"] / c[other] for c in cells) / len(cells)
+        result.notes.append(f"SOMPI saves {100 * saving:.0f}% on average vs {other}")
+    return result

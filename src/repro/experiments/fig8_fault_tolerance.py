@@ -1,0 +1,238 @@
+"""Figure 8 — individual fault-tolerance mechanisms.
+
+Compares All-Unable (no replication, no checkpoints), w/o-RP
+(checkpoints only), w/o-CK (replication only), w/o-MT (no adaptive
+update maintenance) and full SOMPI.  Paper shape: each single mechanism
+buys little over All-Unable; combining them buys >25%; dropping update
+maintenance costs ~15% and inflates variance.
+
+Fault tolerance only has value where failures are likely: the paper's
+real 2014 traces spike in *every* zone, whereas our canonical presets
+include a near-failure-free zone that lets even All-Unable hide.  This
+experiment therefore runs on a *risky* market — every (type, zone)
+market's spike rate is boosted so an out-of-bid event is expected within
+a job's lifetime — which recreates the regime the paper measured.
+
+The w/o-MT comparison additionally needs a *drifting* market (stale
+models are harmless under stationarity): the spike intensity jumps right
+after the training prefix, and the adaptive executor runs with and
+without model refresh.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+from typing import Optional
+
+import numpy as np
+
+from ..baselines.ablations import ablation_plan
+from ..execution.adaptive import AdaptiveExecutor
+from ..market.generator import RegimeSwitchingGenerator
+from ..market.history import SpotPriceHistory
+from ..market.presets import market_params
+from ..sim.rng import derive_seed
+from .common import ExperimentResult, mc_by_method
+from .env import (
+    ExperimentEnv,
+    LOOSE_DEADLINE_FACTOR,
+    TIGHT_DEADLINE_FACTOR,
+)
+
+STATIC_VARIANTS = ("all-unable", "wo-rp", "wo-ck", "sompi")
+LABELS = {
+    "all-unable": "All-Unable",
+    "wo-rp": "w/o-RP",
+    "wo-ck": "w/o-CK",
+    "sompi": "SOMPI",
+}
+
+
+def _boosted_params(key, spike_rate_floor: float, spike_duration: float):
+    params = market_params(key.instance_type, key.zone)
+    return dc_replace(
+        params,
+        spike_rate=max(params.spike_rate, spike_rate_floor),
+        # Long spikes are what make reliability expensive: a multi-hour
+        # excursion means a never-reclaimed (high-bid) instance pays spike
+        # prices for a meaningful fraction of the run, so the optimizer is
+        # pushed toward low bids and genuine out-of-bid risk — the regime
+        # of the paper's Figure 1 region "B".
+        spike_duration_mean=spike_duration,
+    )
+
+
+def risky_env(
+    env: ExperimentEnv,
+    spike_rate_floor: float = 0.03,
+    spike_duration: float = 4.0,
+) -> ExperimentEnv:
+    """A clone of ``env`` whose every market fails regularly."""
+    history = SpotPriceHistory()
+    for key, trace in env.history.items():
+        params = _boosted_params(key, spike_rate_floor, spike_duration)
+        rng = np.random.default_rng(derive_seed(env.seed, f"fig8risky:{key}"))
+        history.add(
+            key,
+            RegimeSwitchingGenerator(params, rng).generate(
+                trace.duration, start_time=trace.start_time
+            ),
+        )
+    return ExperimentEnv(
+        history=history,
+        train_end=env.train_end,
+        seed=env.seed,
+        config=env.config,
+        instance_types=env.instance_types,
+        zones=env.zones,
+    )
+
+
+def drifting_history(
+    env: ExperimentEnv,
+    drift_at: float | None = None,
+    inflate_keys=None,
+    inflation: float = 2.5,
+    relief: float = 0.8,
+) -> SpotPriceHistory:
+    """A history whose price *distribution* shifts at ``drift_at`` hours.
+
+    Demand migrates: the markets in ``inflate_keys`` (by default the
+    cheap m1-family markets a pre-shift plan will have picked, with bids
+    just above their old calm price) become several times more expensive,
+    while every other market relaxes.  A frozen w/o-MT decision keeps its
+    stale bids — now often below the new calm band, so its instances
+    stall or die — while the refreshing executor re-learns and migrates.
+
+    For the ablation to bite, runs must *start before* ``drift_at`` (so
+    both variants train on pre-shift data) and live past it.
+    """
+    if drift_at is None:
+        drift_at = env.train_end
+    out = SpotPriceHistory()
+    for key, trace in env.history.items():
+        prefix = trace.slice(trace.start_time, drift_at)
+        params = market_params(key.instance_type, key.zone)
+        if inflate_keys is None:
+            inflate = key.instance_type in ("m1.small", "m1.medium")
+        else:
+            inflate = key in inflate_keys
+        factor = inflation if inflate else relief
+        shifted = dc_replace(params, base_price=params.base_price * factor)
+        rng = np.random.default_rng(
+            derive_seed(env.seed, f"fig8drift:{key}:{drift_at:.3f}")
+        )
+        suffix = RegimeSwitchingGenerator(shifted, rng).generate(
+            trace.end_time - drift_at, start_time=drift_at
+        )
+        out.add(key, prefix.concat(suffix))
+    return out
+
+
+def run(
+    env: ExperimentEnv,
+    app_name: str = "BT",
+    n_samples: int = 150,
+    n_adaptive_starts: int = 12,
+    risky: Optional[ExperimentEnv] = None,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="FIG8",
+        title="Individual fault-tolerance mechanisms (normalised cost)",
+        columns=("deadline", "method", "norm cost", "norm std"),
+    )
+    risky = risky or risky_env(env)
+    app = risky.app(app_name)
+    baseline_cost = risky.baseline_cost(app)
+    raw = {}
+
+    for dl_name, factor in (
+        ("loose", LOOSE_DEADLINE_FACTOR),
+        ("tight", TIGHT_DEADLINE_FACTOR),
+    ):
+        problem = risky.problem(app, factor)
+        models = risky.failure_models(problem)
+        decisions = {}
+        for variant in STATIC_VARIANTS:
+            plan = ablation_plan(variant, problem, models, risky.config)
+            decisions[LABELS[variant]] = plan.decision
+        summaries = mc_by_method(
+            risky, problem, decisions, n_samples, f"fig8:{dl_name}"
+        )
+        for variant in STATIC_VARIANTS:
+            label = LABELS[variant]
+            s = summaries[label]
+            raw[f"{dl_name}:{label}"] = s.mean_cost / baseline_cost
+            result.add_row(
+                dl_name, label, s.mean_cost / baseline_cost, s.std_cost / baseline_cost
+            )
+
+    # w/o-MT vs adaptive SOMPI: the price distribution shifts 2 hours
+    # into each run, so both variants plan from pre-shift data and only
+    # the refreshing executor notices the change.  Training is one
+    # optimization window, per Algorithm 1 ("update the spot price trace
+    # with the spot price history from the previous window").
+    problem = env.problem(env.app(app_name), LOOSE_DEADLINE_FACTOR)
+    rng = env.rng.fresh("fig8:starts")
+    horizon = problem.deadline * 2.0
+    hi = min(t.end_time for _k, t in env.history.items()) - horizon
+    starts = rng.uniform(
+        env.train_end, max(env.train_end + 1.0, hi), n_adaptive_starts
+    )
+    baseline_plain = env.baseline_cost(env.app(app_name))
+    # The drift turns hostile exactly on the markets the pre-shift plan
+    # chose — the scenario where stale knowledge is maximally wrong.
+    from ..core.optimizer import SompiOptimizer, build_failure_models
+
+    drifts = []
+    for t0 in starts:
+        windowed = SpotPriceHistory()
+        for key, trace in env.history.items():
+            lo = max(trace.start_time, float(t0) - env.config.window_hours)
+            windowed.add(key, trace.slice(lo, float(t0)))
+        models0 = build_failure_models(problem, windowed)
+        plan0 = SompiOptimizer(problem, models0, env.config).plan()
+        keys0 = {
+            problem.groups[g.group_index].key for g in plan0.decision.groups
+        }
+        drifts.append(
+            drifting_history(env, drift_at=float(t0) + 2.0, inflate_keys=keys0)
+        )
+    for label, refresh in (("w/o-MT", False), ("SOMPI-adaptive", True)):
+        costs = []
+        for t0, drift in zip(starts, drifts):
+            ex = AdaptiveExecutor(
+                problem,
+                drift,
+                env.config,
+                training_hours=env.config.window_hours,
+                refresh_models=refresh,
+            )
+            costs.append(ex.run(float(t0)).cost)
+        costs = np.array(costs)
+        raw[f"drift:{label}"] = float(costs.mean() / baseline_plain)
+        result.add_row(
+            "loose(drift)",
+            label,
+            float(costs.mean() / baseline_plain),
+            float(costs.std() / baseline_plain),
+        )
+
+    result.data["normalized"] = raw
+    for single in ("All-Unable", "w/o-RP", "w/o-CK"):
+        saving = 1 - raw["loose:SOMPI"] / raw[f"loose:{single}"]
+        result.notes.append(
+            f"SOMPI saves {100 * saving:.0f}% vs {single} under the loose "
+            "deadline (paper: >25% vs each single mechanism)"
+        )
+    result.notes.append(
+        "deviation: with our single-shot hybrid semantics, checkpointing "
+        "alone (w/o-RP) captures most of SOMPI's gain; the paper's gap vs "
+        "w/o-RP relies on its richer replication value under real traces"
+    )
+    result.notes.append(
+        f"dropping update maintenance changes cost by "
+        f"{100 * (raw['drift:w/o-MT'] / max(raw['drift:SOMPI-adaptive'], 1e-9) - 1):+.0f}% "
+        "on the drifting market (paper: +15%)"
+    )
+    return result

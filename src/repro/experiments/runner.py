@@ -1,0 +1,132 @@
+"""Run every reproduced experiment and print the paper's tables.
+
+Usage::
+
+    python -m repro.experiments.runner                 # everything
+    python -m repro.experiments.runner --quick         # reduced sampling
+    python -m repro.experiments.runner --only fig5 tab2
+    python -m repro.experiments.runner --seed 11
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Iterable, List
+
+from . import (
+    accuracy,
+    ext_correlation,
+    ext_semantics,
+    fig1_price_variation,
+    fig2_price_histogram,
+    fig4_failure_rate,
+    fig5_cost_comparison,
+    fig6_heuristics,
+    fig7_deadline_sweep,
+    fig8_fault_tolerance,
+    param_study,
+    reduction,
+    table2_exec_time,
+)
+from .common import ExperimentResult
+from .env import ExperimentEnv
+
+
+def _all_experiments(env: ExperimentEnv, n_samples: int) -> dict:
+    return {
+        "fig1": lambda: [fig1_price_variation.run(env)],
+        "fig2": lambda: [fig2_price_histogram.run(env)],
+        "fig4": lambda: [fig4_failure_rate.run(env)],
+        "fig5": lambda: [fig5_cost_comparison.run(env, n_samples=n_samples)],
+        "tab2": lambda: [table2_exec_time.run(env, n_samples=n_samples)],
+        "fig6": lambda: [fig6_heuristics.run(env, n_samples=n_samples)],
+        "fig7": lambda: [fig7_deadline_sweep.run(env)],
+        "fig8": lambda: [fig8_fault_tolerance.run(env, n_samples=n_samples)],
+        "params": lambda: param_study.run(env),
+        "accuracy": lambda: accuracy.run(env),
+        "reduction": lambda: [reduction.run(env)],
+        # Extensions beyond the paper (see EXPERIMENTS.md).
+        "ext-sem": lambda: [ext_semantics.run(env, n_samples=n_samples)],
+        "ext-corr": lambda: [ext_correlation.run(env, n_samples=n_samples)],
+    }
+
+
+def main(argv: Iterable[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--samples", type=int, default=150, help="Monte-Carlo replays per point"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="40 replays per point (smoke run)"
+    )
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        default=None,
+        help="subset of experiment ids (fig1 fig2 fig4 fig5 tab2 fig6 fig7 "
+        "fig8 params accuracy reduction ext-sem ext-corr)",
+    )
+    parser.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="also write all result rows to a JSON file",
+    )
+    args = parser.parse_args(list(argv) if argv is not None else None)
+
+    n_samples = 40 if args.quick else args.samples
+    env = ExperimentEnv.paper_default(seed=args.seed)
+    experiments = _all_experiments(env, n_samples)
+    selected = args.only or list(experiments)
+    unknown = [name for name in selected if name not in experiments]
+    if unknown:
+        parser.error(f"unknown experiments {unknown}; known: {list(experiments)}")
+
+    all_results: List[ExperimentResult] = []
+    for name in selected:
+        t0 = time.perf_counter()
+        results = experiments[name]()
+        wall = time.perf_counter() - t0
+        for res in results:
+            print(res.format_table())
+            print(f"[{name} completed in {wall:.1f}s]")
+            print()
+            all_results.append(res)
+    if args.json:
+        _write_json(all_results, args.seed, n_samples, args.json)
+        print(f"wrote JSON results to {args.json}")
+    print(f"ran {len(all_results)} experiment tables with seed={args.seed}")
+    return 0
+
+
+def _write_json(
+    results: List[ExperimentResult], seed: int, n_samples: int, path: str
+) -> None:
+    """Dump every table's rows (not the raw data payloads) as JSON."""
+    import json
+
+    doc = {
+        "format": "repro.experiment-results.v1",
+        "seed": seed,
+        "n_samples": n_samples,
+        "tables": [
+            {
+                "experiment_id": res.experiment_id,
+                "title": res.title,
+                "columns": list(res.columns),
+                "rows": [list(row) for row in res.rows],
+                "notes": list(res.notes),
+            }
+            for res in results
+        ],
+    }
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1, default=str)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

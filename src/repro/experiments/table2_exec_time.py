@@ -1,0 +1,58 @@
+"""Table 2 — normalised execution time, Marathe-Opt vs SOMPI.
+
+The paper shows both approaches complete well within loose deadlines
+(normalised times around 1.04-1.40x Baseline Time) and right at tight
+deadlines (~1.05x), i.e. SOMPI's savings are not bought with slower
+runs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .common import ExperimentResult, baseline_decisions, mc_by_method
+from .env import (
+    ExperimentEnv,
+    LOOSE_DEADLINE_FACTOR,
+    TIGHT_DEADLINE_FACTOR,
+)
+
+DEFAULT_APPS = ("BT", "SP", "LU", "FT", "IS", "BTIO")
+
+
+def run(
+    env: ExperimentEnv,
+    apps: Sequence[str] = DEFAULT_APPS,
+    n_samples: int = 150,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="TAB2",
+        title="Normalised execution time (x Baseline Time)",
+        columns=("deadline", "method", *apps),
+    )
+    data = {}
+    for dl_name, factor in (
+        ("loose", LOOSE_DEADLINE_FACTOR),
+        ("tight", TIGHT_DEADLINE_FACTOR),
+    ):
+        rows = {"Marathe-Opt": [], "SOMPI": []}
+        for name in apps:
+            app = env.app(name)
+            baseline_time = env.baseline_time(app)
+            problem = env.problem(app, factor)
+            decisions = baseline_decisions(env, problem, ("Marathe-Opt",))
+            decisions["SOMPI"] = env.sompi_plan(problem).decision
+            summaries = mc_by_method(
+                env, problem, decisions, n_samples, f"tab2:{name}:{dl_name}"
+            )
+            for method in rows:
+                rows[method].append(summaries[method].mean_time / baseline_time)
+        for method, values in rows.items():
+            result.add_row(dl_name, method, *values)
+            data[f"{dl_name}:{method}"] = values
+    result.data["normalized_time"] = data
+    result.notes.append(
+        "both methods stay within the deadline factor in expectation "
+        "(loose <= 1.5, tight ~ 1.05)"
+    )
+    return result

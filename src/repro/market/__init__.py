@@ -1,0 +1,37 @@
+"""Spot-market substrate.
+
+Everything the optimizer knows about the spot market flows through this
+package:
+
+* :class:`~repro.market.trace.SpotPriceTrace` — a piecewise-constant price
+  series (the paper's "spot price history").
+* :mod:`~repro.market.generator` — a regime-switching synthetic generator
+  calibrated to the qualitative observations of Section 2.1 (long calm
+  stretches, abrupt 10-100x spikes, per-type/zone heterogeneity, stable
+  short-horizon distributions).
+* :class:`~repro.market.history.SpotPriceHistory` — a store of traces
+  keyed by (instance type, availability zone).
+* :class:`~repro.market.failure.FailureModel` — the failure-rate function
+  ``f_i(P, t)`` and expected spot price ``S_i(P)`` of Section 4.4.
+* :mod:`~repro.market.stats` — histograms and distribution-stability
+  metrics used by Figures 1 and 2.
+"""
+
+from .trace import SpotPriceTrace
+from .generator import RegimeSwitchingGenerator, SpotMarketParams
+from .history import SpotPriceHistory, MarketKey
+from .failure import FailureModel
+from . import correlated, io, stats, presets
+
+__all__ = [
+    "SpotPriceTrace",
+    "RegimeSwitchingGenerator",
+    "SpotMarketParams",
+    "SpotPriceHistory",
+    "MarketKey",
+    "FailureModel",
+    "correlated",
+    "io",
+    "stats",
+    "presets",
+]

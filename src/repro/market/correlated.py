@@ -1,0 +1,146 @@
+"""Correlated spot markets (extension).
+
+The paper *assumes* spot prices in different availability zones move
+independently (Section 3.1.2) and builds the replication math on that —
+the joint failure probability is the product of the marginals.  This
+module lets experiments stress that assumption: a region-wide "demand
+surge" process hits every market simultaneously, and each market joins
+a given surge with probability ``correlation``.
+
+* ``correlation = 0`` — the canonical independent markets.
+* ``correlation = 1`` — every surge hits every market: replicas die
+  together and spatial redundancy buys nothing.
+
+Surges are overlaid as price *floors* on the independently generated
+traces, so the marginal behaviour of each market barely changes while
+the joint behaviour sweeps from independent to comonotone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..cloud.instance_types import PAPER_TYPES, get_instance_type
+from ..cloud.zones import DEFAULT_ZONES, Zone
+from ..errors import ConfigurationError
+from ..sim.rng import derive_seed
+from ..units import check_fraction, check_positive
+from .generator import RegimeSwitchingGenerator
+from .history import MarketKey, SpotPriceHistory
+from .presets import market_params
+from .trace import SpotPriceTrace
+
+
+@dataclass(frozen=True)
+class RegionSurge:
+    """One region-wide demand surge."""
+
+    start: float
+    duration: float
+    severity: float  # price floor as a multiple of each market's base price
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+def sample_surges(
+    duration_hours: float,
+    rng: np.random.Generator,
+    rate_per_hour: float = 0.02,
+    mean_duration: float = 3.0,
+    severity_median: float = 8.0,
+    severity_sigma: float = 0.5,
+) -> list[RegionSurge]:
+    """Poisson surge process over ``[0, duration_hours)``."""
+    check_positive("duration_hours", duration_hours)
+    n = rng.poisson(rate_per_hour * duration_hours)
+    surges = []
+    for _ in range(n):
+        start = float(rng.uniform(0.0, duration_hours))
+        dur = float(max(0.25, rng.exponential(mean_duration)))
+        severity = float(severity_median * np.exp(severity_sigma * rng.standard_normal()))
+        surges.append(RegionSurge(start, min(dur, duration_hours - start), severity))
+    surges.sort(key=lambda s: s.start)
+    return surges
+
+
+def overlay_price_floor(
+    trace: SpotPriceTrace, start: float, end: float, floor: float
+) -> SpotPriceTrace:
+    """Raise the price to at least ``floor`` on ``[start, end)``.
+
+    The overlay window is clipped to the trace's own window; an overlay
+    entirely outside it is a no-op.
+    """
+    if end <= start:
+        raise ConfigurationError(f"empty overlay window [{start}, {end})")
+    lo = max(start, trace.start_time)
+    hi = min(end, trace.end_time)
+    if hi <= lo:
+        return trace
+    times = list(trace.times)
+    prices = list(trace.prices)
+    # Split segments at lo and hi, then raise everything inside.
+    for cut in (lo, hi):
+        if cut < trace.end_time and cut not in times:
+            idx = int(np.searchsorted(times, cut, side="right") - 1)
+            times.insert(idx + 1, cut)
+            prices.insert(idx + 1, prices[idx])
+    new_prices = [
+        max(p, floor) if lo <= t < hi else p for t, p in zip(times, prices)
+    ]
+    out = SpotPriceTrace(times, new_prices, trace.end_time)
+    # Re-compress equal adjacent segments introduced by the overlay.
+    keep = np.empty(out.times.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(out.prices[1:], out.prices[:-1], out=keep[1:])
+    return SpotPriceTrace(out.times[keep], out.prices[keep], out.end_time)
+
+
+def build_correlated_history(
+    duration_hours: float,
+    seed: int,
+    correlation: float,
+    instance_types: Optional[Sequence[str]] = None,
+    zones: Optional[Sequence[Zone]] = None,
+    surge_rate_per_hour: float = 0.02,
+    surge_mean_duration: float = 3.0,
+) -> SpotPriceHistory:
+    """Canonical presets plus region-wide surges shared across markets.
+
+    Each market joins each surge independently with probability
+    ``correlation``; during a joined surge its price is floored at
+    ``severity x base_price``.
+    """
+    check_fraction("correlation", correlation)
+    instance_types = list(instance_types or PAPER_TYPES)
+    zones = list(zones or DEFAULT_ZONES)
+    surges = sample_surges(
+        duration_hours,
+        np.random.default_rng(derive_seed(seed, "region-surges")),
+        rate_per_hour=surge_rate_per_hour,
+        mean_duration=surge_mean_duration,
+    )
+    history = SpotPriceHistory()
+    for tname in instance_types:
+        get_instance_type(tname)  # validate
+        for zone in zones:
+            key = MarketKey(tname, zone.name)
+            params = market_params(tname, zone.name)
+            rng = np.random.default_rng(derive_seed(seed, f"corr-market:{key}"))
+            trace = RegimeSwitchingGenerator(params, rng).generate(duration_hours)
+            join = np.random.default_rng(derive_seed(seed, f"corr-join:{key}"))
+            for surge in surges:
+                if join.random() < correlation:
+                    trace = overlay_price_floor(
+                        trace,
+                        surge.start,
+                        surge.end,
+                        surge.severity * params.base_price,
+                    )
+            history.add(key, trace)
+    return history

@@ -1,0 +1,185 @@
+"""Trace persistence: CSV, JSON, and the AWS price-history format.
+
+The library's algorithms are trace-driven, so loading *real* spot-price
+history is the bridge from simulation to production use.  Three formats:
+
+* **CSV** — ``time_hours,price`` rows (one header line), one file per
+  market.  The native round-trip format.
+* **JSON** — a single document holding many markets, used by the
+  experiment runner's ``--json`` export and for fixture sharing.
+* **AWS** — the ``describe-spot-price-history`` response shape
+  (``SpotPriceHistory`` list of ``{Timestamp, SpotPrice, InstanceType,
+  AvailabilityZone}``), so a dump from the AWS CLI can be ingested
+  directly.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import IO, Union
+
+import numpy as np
+
+from ..errors import TraceError
+from .history import MarketKey, SpotPriceHistory
+from .trace import SpotPriceTrace
+
+PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------------
+# CSV — one market per file
+# ----------------------------------------------------------------------
+def trace_to_csv(trace: SpotPriceTrace, path: PathLike) -> None:
+    """Write ``time_hours,price`` rows plus a final end-marker row.
+
+    The end marker (an ``end,<end_time>`` row) preserves the window
+    bound, which plain change-points cannot express.
+    """
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["time_hours", "price"])
+        for t, p in zip(trace.times, trace.prices):
+            writer.writerow([repr(float(t)), repr(float(p))])
+        writer.writerow(["end", repr(trace.end_time)])
+
+
+def trace_from_csv(path: PathLike) -> SpotPriceTrace:
+    """Inverse of :func:`trace_to_csv`."""
+    times: list[float] = []
+    prices: list[float] = []
+    end_time: float | None = None
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header != ["time_hours", "price"]:
+            raise TraceError(f"{path}: not a trace CSV (bad header {header!r})")
+        for row in reader:
+            if not row:
+                continue
+            if row[0] == "end":
+                end_time = float(row[1])
+                break
+            times.append(float(row[0]))
+            prices.append(float(row[1]))
+    if end_time is None:
+        raise TraceError(f"{path}: missing end marker row")
+    return SpotPriceTrace(times, prices, end_time)
+
+
+# ----------------------------------------------------------------------
+# JSON — whole histories
+# ----------------------------------------------------------------------
+def history_to_json(history: SpotPriceHistory) -> str:
+    """Serialise a multi-market history to a JSON string."""
+    doc = {
+        "format": "repro.spot-history.v1",
+        "markets": [
+            {
+                "instance_type": key.instance_type,
+                "zone": key.zone,
+                "times": [float(t) for t in trace.times],
+                "prices": [float(p) for p in trace.prices],
+                "end_time": trace.end_time,
+            }
+            for key, trace in history.items()
+        ],
+    }
+    return json.dumps(doc)
+
+
+def history_from_json(text: str) -> SpotPriceHistory:
+    """Inverse of :func:`history_to_json`."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise TraceError(f"invalid history JSON: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("format") != "repro.spot-history.v1":
+        raise TraceError("not a repro spot-history document")
+    history = SpotPriceHistory()
+    for market in doc.get("markets", []):
+        key = MarketKey(market["instance_type"], market["zone"])
+        history.add(
+            key,
+            SpotPriceTrace(market["times"], market["prices"], market["end_time"]),
+        )
+    return history
+
+
+def save_history(history: SpotPriceHistory, path: PathLike) -> None:
+    Path(path).write_text(history_to_json(history))
+
+
+def load_history(path: PathLike) -> SpotPriceHistory:
+    return history_from_json(Path(path).read_text())
+
+
+# ----------------------------------------------------------------------
+# AWS describe-spot-price-history
+# ----------------------------------------------------------------------
+def _parse_aws_timestamp(value: str) -> float:
+    """ISO-8601 timestamp -> POSIX seconds (UTC assumed when naive)."""
+    text = value.replace("Z", "+00:00")
+    try:
+        dt = datetime.fromisoformat(text)
+    except ValueError as exc:
+        raise TraceError(f"bad AWS timestamp {value!r}") from exc
+    if dt.tzinfo is None:
+        dt = dt.replace(tzinfo=timezone.utc)
+    return dt.timestamp()
+
+
+def history_from_aws(
+    doc: Union[str, dict],
+    window_end_hours_after_last: float = 1.0,
+) -> SpotPriceHistory:
+    """Ingest an ``aws ec2 describe-spot-price-history`` response.
+
+    Timestamps are rebased so the earliest observation across all
+    markets is hour 0.  Each market's window is closed
+    ``window_end_hours_after_last`` hours past its last observation
+    (AWS reports change points, not windows).
+    """
+    if isinstance(doc, str):
+        try:
+            doc = json.loads(doc)
+        except json.JSONDecodeError as exc:
+            raise TraceError(f"invalid AWS JSON: {exc}") from exc
+    records = doc.get("SpotPriceHistory")
+    if not isinstance(records, list) or not records:
+        raise TraceError("document has no SpotPriceHistory records")
+
+    per_market: dict[MarketKey, list[tuple[float, float]]] = {}
+    for rec in records:
+        try:
+            key = MarketKey(rec["InstanceType"], rec["AvailabilityZone"])
+            ts = _parse_aws_timestamp(rec["Timestamp"])
+            price = float(rec["SpotPrice"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TraceError(f"malformed AWS record {rec!r}") from exc
+        per_market.setdefault(key, []).append((ts, price))
+
+    t0 = min(ts for obs in per_market.values() for ts, _ in obs)
+    history = SpotPriceHistory()
+    for key, obs in per_market.items():
+        obs.sort()
+        times, prices = [], []
+        for ts, price in obs:
+            hour = (ts - t0) / 3600.0
+            if times and hour <= times[-1]:
+                prices[-1] = price  # same-instant update: keep the latest
+                continue
+            times.append(hour)
+            prices.append(price)
+        history.add(
+            key,
+            SpotPriceTrace(
+                np.array(times),
+                np.array(prices),
+                times[-1] + window_end_hours_after_last,
+            ),
+        )
+    return history

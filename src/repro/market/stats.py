@@ -1,0 +1,122 @@
+"""Trace statistics for the Figure 1 / Figure 2 style analyses.
+
+These helpers quantify the two observations the paper's model rests on:
+
+* spot prices vary wildly across time and across markets (Figure 1), yet
+* the *distribution* of the price is stable over a few days (Figure 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError, TraceError
+from ..units import HOURS_PER_DAY
+from .trace import SpotPriceTrace
+
+
+def time_weighted_histogram(
+    trace: SpotPriceTrace, bin_edges: np.ndarray
+) -> np.ndarray:
+    """Fraction of window time spent in each price bin.
+
+    ``bin_edges`` must be increasing; prices outside the edges are clipped
+    into the boundary bins so the histogram always sums to 1.
+    """
+    edges = np.asarray(bin_edges, dtype=float)
+    if edges.ndim != 1 or edges.size < 2 or np.any(np.diff(edges) <= 0):
+        raise ConfigurationError("bin_edges must be an increasing 1-D array (>= 2 edges)")
+    durations = trace.segment_durations()
+    prices = np.clip(trace.prices, edges[0], np.nextafter(edges[-1], -np.inf))
+    idx = np.searchsorted(edges, prices, side="right") - 1
+    hist = np.bincount(idx, weights=durations, minlength=edges.size - 1)
+    return hist / durations.sum()
+
+
+def daily_slices(trace: SpotPriceTrace, n_days: int) -> List[SpotPriceTrace]:
+    """Split the leading ``n_days`` 24-hour windows out of a trace."""
+    if n_days < 1:
+        raise ConfigurationError(f"n_days must be >= 1, got {n_days}")
+    if trace.duration < n_days * HOURS_PER_DAY:
+        raise TraceError(
+            f"trace of {trace.duration:.3g} h cannot supply {n_days} full days"
+        )
+    out = []
+    for day in range(n_days):
+        t0 = trace.start_time + day * HOURS_PER_DAY
+        out.append(trace.slice(t0, t0 + HOURS_PER_DAY))
+    return out
+
+
+def total_variation_distance(p: np.ndarray, q: np.ndarray) -> float:
+    """Total-variation distance between two histograms (0 = identical)."""
+    p = np.asarray(p, dtype=float)
+    q = np.asarray(q, dtype=float)
+    if p.shape != q.shape:
+        raise ConfigurationError("histograms must have equal shape")
+    return float(0.5 * np.abs(p - q).sum())
+
+
+def distribution_stability(
+    trace: SpotPriceTrace, n_days: int, n_bins: int = 20
+) -> np.ndarray:
+    """Pairwise day-over-day total-variation distances (Figure 2 metric).
+
+    Returns an ``(n_days, n_days)`` symmetric matrix; small off-diagonal
+    values mean the daily price distributions agree, which is the paper's
+    justification for estimating failure rates from recent history.
+    """
+    days = daily_slices(trace, n_days)
+    lo = min(d.min_price() for d in days)
+    hi = max(d.max_price() for d in days)
+    if hi <= lo:
+        hi = lo + 1e-9
+    edges = np.linspace(lo, hi * (1 + 1e-12), n_bins + 1)
+    hists = [time_weighted_histogram(d, edges) for d in days]
+    out = np.zeros((n_days, n_days))
+    for i in range(n_days):
+        for j in range(i + 1, n_days):
+            out[i, j] = out[j, i] = total_variation_distance(hists[i], hists[j])
+    return out
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Headline numbers of one market's history (a Figure 1 table row)."""
+
+    min_price: float
+    max_price: float
+    mean_price: float
+    coefficient_of_variation: float
+    n_changes: int
+    spike_fraction: float
+
+    @classmethod
+    def of(cls, trace: SpotPriceTrace, spike_threshold: float) -> "TraceSummary":
+        """Summarise ``trace``; time above ``spike_threshold`` counts as spiking."""
+        w = trace.segment_durations()
+        mean = trace.mean_price()
+        var = float(np.average((trace.prices - mean) ** 2, weights=w))
+        spike_time = float(w[trace.prices > spike_threshold].sum())
+        return cls(
+            min_price=trace.min_price(),
+            max_price=trace.max_price(),
+            mean_price=mean,
+            coefficient_of_variation=float(np.sqrt(var) / mean) if mean > 0 else 0.0,
+            n_changes=trace.n_segments - 1,
+            spike_fraction=spike_time / trace.duration,
+        )
+
+
+def relative_difference(actual: float, estimate: float) -> float:
+    """The paper's accuracy metric ``|A - A'| / A`` (Section 5.4.1).
+
+    Defined as 0 when both values are 0, and as ``inf`` when the reference
+    is 0 but the estimate is not.
+    """
+    if actual == 0.0:
+        return 0.0 if estimate == 0.0 else float("inf")
+    return abs(actual - estimate) / abs(actual)

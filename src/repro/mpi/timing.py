@@ -1,0 +1,130 @@
+"""Execution-time and checkpoint-overhead estimation (Section 4.4).
+
+``T = T_cpu + T_net + T_io`` per the paper:
+
+* **CPU** — total instructions over aggregate core throughput (one
+  process per core, embarrassingly parallel within a phase).
+* **Network** — point-to-point volume over the per-process effective
+  bandwidth plus per-message latency, and each collective priced by its
+  algorithm's alpha-beta cost with per-invocation average payload.
+* **IO** — sequential bytes at full aggregate disk bandwidth; random
+  bytes at a penalty factor (seeks).
+
+A small load-imbalance factor inflates the total, mirroring the
+imperfect overlap real NPB kernels show.
+
+Checkpoint parameters (``O_i``, ``R_i``) come from the same profile: a
+coordinated BLCR-style checkpoint serialises every rank's resident set
+and pushes it to the S3-like store through the instances' NICs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cloud.instance_types import InstanceType
+from ..cloud.s3 import S3Store
+from ..errors import ConfigurationError
+from ..units import SECONDS_PER_HOUR
+from .collectives import collective_time
+from .network import ClusterShape, NetworkModel, GBPS_TO_BPS
+from .profile import ApplicationProfile
+
+#: Random IO pays this multiple of sequential time (seek-dominated).
+RANDOM_IO_PENALTY = 3.0
+
+#: Residual load imbalance / overlap inefficiency of real kernels.
+IMBALANCE_FACTOR = 0.05
+
+#: Fixed coordination cost of a coordinated checkpoint or restart
+#: (quiescing channels, BLCR serialisation bookkeeping), seconds.
+CHECKPOINT_COORDINATION_S = 120.0
+
+#: Fraction of the NIC a background checkpoint upload can use.
+CHECKPOINT_NIC_SHARE = 0.5
+
+
+def estimate_execution_hours(
+    profile: ApplicationProfile, itype: InstanceType
+) -> float:
+    """Productive execution time ``T_i`` of ``profile`` on a fleet of
+    ``itype`` instances (no checkpoints, no failures)."""
+    shape = ClusterShape(itype, profile.n_processes)
+    net = NetworkModel(shape)
+    p = profile.n_processes
+
+    cpu_s = profile.instr_giga / (p * itype.core_speed)
+
+    alpha = net.effective_alpha()
+    beta = net.effective_beta()
+    p2p_s = 0.0
+    if profile.p2p_bytes > 0 or profile.p2p_messages > 0:
+        per_proc_bytes = profile.p2p_bytes / p
+        per_proc_msgs = profile.p2p_messages / p
+        p2p_s = per_proc_bytes * beta + per_proc_msgs * alpha
+
+    coll_s = 0.0
+    for name, counts in profile.collectives.items():
+        if counts.count <= 0:
+            continue
+        avg_payload = counts.total_bytes / counts.count
+        coll_s += counts.count * collective_time(name, p, avg_payload, alpha, beta)
+
+    io_bytes = profile.io_seq_bytes + RANDOM_IO_PENALTY * profile.io_rnd_bytes
+    io_s = io_bytes / shape.aggregate_disk_bps
+
+    total_s = (cpu_s + p2p_s + coll_s + io_s) * (1.0 + IMBALANCE_FACTOR)
+    if total_s <= 0:
+        raise ConfigurationError(
+            f"estimated time for {profile.name!r} on {itype.name} is not positive"
+        )
+    return total_s / SECONDS_PER_HOUR
+
+
+@dataclass(frozen=True)
+class CheckpointProfile:
+    """Per-(application, instance type) checkpoint/restart parameters."""
+
+    checkpoint_hours: float  # O_i
+    recovery_hours: float  # R_i
+    image_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_hours < 0 or self.recovery_hours < 0:
+            raise ConfigurationError("checkpoint/recovery hours must be >= 0")
+        if self.image_bytes < 0:
+            raise ConfigurationError("image_bytes must be >= 0")
+
+
+def estimate_checkpoint(
+    profile: ApplicationProfile,
+    itype: InstanceType,
+    storage: S3Store | None = None,
+) -> CheckpointProfile:
+    """Checkpoint overhead ``O_i`` and recovery overhead ``R_i``.
+
+    Upload bandwidth per instance is the smaller of the store's effective
+    bandwidth and half the NIC (the checkpoint competes with application
+    traffic); the fleet uploads in parallel.  Recovery re-downloads the
+    image and adds a second coordination round (restoring channels).
+    """
+    storage = storage or S3Store()
+    shape = ClusterShape(itype, profile.n_processes)
+    image = profile.checkpoint_bytes
+    nic_bps = itype.network_gbps * GBPS_TO_BPS * CHECKPOINT_NIC_SHARE
+    store_bps = storage.bandwidth_mbps * 1024.0**2
+    per_instance_bps = min(nic_bps, store_bps)
+    fleet_bps = min(
+        per_instance_bps * shape.n_instances,
+        storage.aggregate_mbps * 1024.0**2,
+    )
+
+    transfer_s = image / fleet_bps
+    ckpt_s = CHECKPOINT_COORDINATION_S + transfer_s
+    # Restart: re-launch processes, pull the image, restore channels.
+    recovery_s = 2.0 * CHECKPOINT_COORDINATION_S + transfer_s
+    return CheckpointProfile(
+        checkpoint_hours=ckpt_s / SECONDS_PER_HOUR,
+        recovery_hours=recovery_s / SECONDS_PER_HOUR,
+        image_bytes=image,
+    )

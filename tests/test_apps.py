@@ -1,0 +1,148 @@
+"""Workload model tests — analytic profiles."""
+
+import pytest
+
+from repro.apps import BT, BTIO, FT, IS, LU, SP, LAMMPS, PAPER_APPS, make_app
+from repro.apps.base import WorkloadCategory
+from repro.cloud.instance_types import get_instance_type
+from repro.errors import ConfigurationError
+from repro.mpi.timing import estimate_execution_hours
+
+
+def T(app, type_name):
+    return estimate_execution_hours(app.profile(), get_instance_type(type_name))
+
+
+class TestFactory:
+    def test_all_paper_apps_constructible(self):
+        for name in PAPER_APPS:
+            app = make_app(name)
+            assert app.n_processes == 128
+            assert app.profile().instr_giga > 0
+
+    def test_unknown_app(self):
+        with pytest.raises(ValueError):
+            make_app("EP")  # embarrassingly parallel: not modelled
+
+    def test_case_insensitive(self):
+        assert make_app("bt").name == "BT"
+
+
+class TestScaling:
+    def test_repeats_scale_profile(self):
+        one = BT(repeats=1).profile()
+        many = BT(repeats=10).profile()
+        assert many.instr_giga == pytest.approx(10 * one.instr_giga)
+        assert many.memory_gb_per_process == one.memory_gb_per_process
+
+    def test_problem_class_scales_work(self):
+        a = BT(problem_class="A", repeats=1).profile()
+        b = BT(problem_class="B", repeats=1).profile()
+        c = BT(problem_class="C", repeats=1).profile()
+        assert a.instr_giga < b.instr_giga < c.instr_giga
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BT(problem_class="D")
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BT(n_processes=0)
+        with pytest.raises(ConfigurationError):
+            BT(repeats=0)
+
+
+class TestCategories:
+    def test_paper_categories(self):
+        assert BT().category is WorkloadCategory.COMPUTE
+        assert SP().category is WorkloadCategory.COMPUTE
+        assert LU().category is WorkloadCategory.COMPUTE
+        assert FT().category is WorkloadCategory.COMMUNICATION
+        assert IS().category is WorkloadCategory.COMMUNICATION
+        assert BTIO().category is WorkloadCategory.IO
+
+
+class TestPaperShapes:
+    """The relative execution times that drive the paper's Section 5.3."""
+
+    def test_compute_kernels_fastest_on_powerful_types(self):
+        for cls in (BT, SP, LU):
+            app = cls()
+            fast = min(T(app, "c3.xlarge"), T(app, "cc2.8xlarge"))
+            assert fast < T(app, "m1.medium") < T(app, "m1.small")
+
+    def test_comm_kernels_dominated_by_cc2(self):
+        for cls in (FT, IS):
+            app = cls()
+            t_cc2 = T(app, "cc2.8xlarge")
+            for other in ("m1.small", "m1.medium", "c3.xlarge"):
+                assert t_cc2 < T(app, other)
+
+    def test_comm_kernels_are_comm_bound_on_small(self):
+        ft = FT().profile()
+        cpu_only = ft.instr_giga / (128 * 1.0) / 3600.0
+        total = estimate_execution_hours(ft, get_instance_type("m1.small"))
+        assert total > 1.5 * cpu_only  # network dominates
+
+    def test_btio_punishes_cc2(self):
+        app = BTIO()
+        # m1.medium both faster and cheaper than cc2.8xlarge (Section 5.3.1)
+        assert T(app, "m1.medium") < T(app, "cc2.8xlarge")
+
+    def test_btio_io_dominates_on_cc2(self):
+        bt, btio = BT(), BTIO()
+        assert T(btio, "cc2.8xlarge") > 1.5 * T(bt, "cc2.8xlarge")
+        # but barely matters on 128 small disks
+        assert T(btio, "m1.small") < 1.25 * T(bt, "m1.small")
+
+
+class TestLammps:
+    def test_comm_fraction_grows_with_processes(self):
+        """The paper's strong-scaling observation."""
+
+        def comm_fraction(p):
+            prof = LAMMPS(n_processes=p).profile()
+            it = get_instance_type("m1.small")
+            total = estimate_execution_hours(prof, it)
+            cpu = prof.instr_giga / (p * it.core_speed) / 3600.0
+            return 1.0 - cpu / total
+
+        assert comm_fraction(128) > comm_fraction(32)
+
+    def test_fixed_problem_size(self):
+        p32 = LAMMPS(n_processes=32).profile()
+        p128 = LAMMPS(n_processes=128).profile()
+        assert p32.instr_giga == pytest.approx(p128.instr_giga)
+
+    def test_more_processes_run_faster(self):
+        assert T(LAMMPS(n_processes=128), "m1.small") < T(
+            LAMMPS(n_processes=32), "m1.small"
+        )
+
+    def test_memory_per_process_shrinks(self):
+        assert (
+            LAMMPS(n_processes=128).profile().memory_gb_per_process
+            < LAMMPS(n_processes=32).profile().memory_gb_per_process
+        )
+
+    def test_steps_validation(self):
+        with pytest.raises(ValueError):
+            LAMMPS(steps=0)
+
+
+class TestProfileStructure:
+    def test_ft_uses_alltoall(self):
+        colls = FT().profile().collectives
+        assert "alltoall" in colls and colls["alltoall"].count > 0
+
+    def test_bt_has_halo_p2p(self):
+        p = BT().profile()
+        assert p.p2p_bytes > 0 and p.p2p_messages > 0
+
+    def test_btio_writes(self):
+        assert BTIO().profile().io_seq_bytes > 0
+        assert BT().profile().io_seq_bytes == 0
+
+    def test_checkpoint_image_is_tens_of_gb(self):
+        img = BT().profile().checkpoint_bytes
+        assert 10e9 < img < 100e9

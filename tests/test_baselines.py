@@ -1,0 +1,139 @@
+"""Baseline strategy tests."""
+
+import pytest
+
+from repro.baselines import (
+    INF_BID,
+    ablation_plan,
+    all_unable_config,
+    marathe_decision,
+    marathe_opt_decision,
+    ondemand_decision,
+    spot_avg_decision,
+    spot_inf_decision,
+    wo_ck_config,
+    wo_rp_config,
+)
+from repro.experiments.env import LOOSE_DEADLINE_FACTOR, TIGHT_DEADLINE_FACTOR
+
+
+@pytest.fixture(scope="module")
+def bt_setup(paper_env):
+    problem = paper_env.problem("BT", LOOSE_DEADLINE_FACTOR)
+    models = paper_env.failure_models(problem)
+    return paper_env, problem, models
+
+
+class TestOnDemand:
+    def test_no_groups(self, bt_setup):
+        env, problem, _ = bt_setup
+        d = ondemand_decision(problem)
+        assert d.groups == ()
+
+    def test_picks_cheapest_feasible(self, bt_setup):
+        env, problem, _ = bt_setup
+        d = ondemand_decision(problem)
+        chosen = problem.ondemand_options[d.ondemand_index]
+        for opt in problem.ondemand_options:
+            if opt.exec_time <= problem.deadline:
+                assert chosen.full_run_cost <= opt.full_run_cost + 1e-9
+
+
+class TestSpotNaive:
+    def test_spot_inf_uses_inf_bid_no_checkpoints(self, bt_setup):
+        env, problem, models = bt_setup
+        d = spot_inf_decision(problem, models)
+        assert len(d.groups) == 1
+        gd = d.groups[0]
+        assert gd.bid == INF_BID
+        spec = problem.groups[gd.group_index]
+        assert gd.interval == spec.exec_time  # no checkpoints
+
+    def test_spot_inf_never_fails_in_replay(self, bt_setup):
+        env, problem, models = bt_setup
+        d = spot_inf_decision(problem, models)
+        mc = env.mc(problem, d, n_samples=100, stream="spotinf")
+        assert mc.spot_completion_rate == 1.0
+
+    def test_spot_avg_bids_historical_mean(self, bt_setup):
+        env, problem, models = bt_setup
+        d = spot_avg_decision(problem, models)
+        gd = d.groups[0]
+        spec = problem.groups[gd.group_index]
+        assert gd.bid == pytest.approx(models[spec.key].trace.mean_price())
+
+    def test_spot_strategies_pick_deadline_feasible_group(self, bt_setup):
+        env, problem, models = bt_setup
+        for d in (spot_inf_decision(problem, models), spot_avg_decision(problem, models)):
+            spec = problem.groups[d.groups[0].group_index]
+            assert spec.exec_time <= problem.deadline
+
+
+class TestMarathe:
+    def test_marathe_uses_cc2_in_all_zones(self, bt_setup):
+        env, problem, models = bt_setup
+        d = marathe_decision(problem, models)
+        types = {problem.groups[g.group_index].itype.name for g in d.groups}
+        assert types == {"cc2.8xlarge"}
+        assert len(d.groups) == 3
+
+    def test_marathe_bids_ondemand_price(self, bt_setup):
+        env, problem, models = bt_setup
+        d = marathe_decision(problem, models)
+        for g in d.groups:
+            assert g.bid == pytest.approx(2.000)
+
+    def test_marathe_opt_picks_cheaper_type_loose(self, bt_setup):
+        """Section 5.3.1: Marathe-Opt beats Marathe under loose deadlines."""
+        env, problem, models = bt_setup
+        opt = marathe_opt_decision(problem, models)
+        base = marathe_decision(problem, models)
+        cost_opt = env.expectation(problem, opt).cost
+        cost_base = env.expectation(problem, base).cost
+        assert cost_opt < cost_base
+
+    def test_marathe_equals_opt_under_tight_deadline(self, paper_env):
+        """Tight deadline forces both to cc2.8xlarge (paper observation)."""
+        problem = paper_env.problem("BT", TIGHT_DEADLINE_FACTOR)
+        models = paper_env.failure_models(problem)
+        opt = marathe_opt_decision(problem, models)
+        types = {problem.groups[g.group_index].itype.name for g in opt.groups}
+        assert types == {"cc2.8xlarge"}
+
+    def test_marathe_single_type_always(self, bt_setup):
+        env, problem, models = bt_setup
+        opt = marathe_opt_decision(problem, models)
+        types = {problem.groups[g.group_index].itype.name for g in opt.groups}
+        assert len(types) == 1
+
+
+class TestAblations:
+    def test_config_builders(self, paper_env):
+        base = paper_env.config
+        assert all_unable_config(base).kappa == 1
+        assert not all_unable_config(base).checkpointing
+        assert wo_rp_config(base).kappa == 1
+        assert wo_rp_config(base).checkpointing
+        assert not wo_ck_config(base).checkpointing
+        assert wo_ck_config(base).kappa == base.kappa
+
+    def test_all_unable_single_group_no_ckpt(self, bt_setup):
+        env, problem, models = bt_setup
+        plan = ablation_plan("all-unable", problem, models, env.config)
+        assert len(plan.decision.groups) <= 1
+        for gd in plan.decision.groups:
+            spec = problem.groups[gd.group_index]
+            assert gd.interval == pytest.approx(spec.exec_time)
+
+    def test_sompi_at_least_as_cheap_as_every_ablation(self, bt_setup):
+        """Bigger solution space can only help (Section 5.4.2)."""
+        env, problem, models = bt_setup
+        full = ablation_plan("sompi", problem, models, env.config)
+        for variant in ("all-unable", "wo-rp", "wo-ck"):
+            restricted = ablation_plan(variant, problem, models, env.config)
+            assert full.expectation.cost <= restricted.expectation.cost + 1e-6
+
+    def test_unknown_variant(self, bt_setup):
+        env, problem, models = bt_setup
+        with pytest.raises(ValueError):
+            ablation_plan("wo-everything", problem, models, env.config)

@@ -1,0 +1,93 @@
+"""Budget-constrained (min-time) planning tests — the dual problem."""
+
+import pytest
+
+from repro.core.optimizer import SompiOptimizer
+from repro.errors import ConfigurationError, InfeasibleError
+from repro.experiments.env import LOOSE_DEADLINE_FACTOR
+
+
+@pytest.fixture(scope="module")
+def setup(small_env):
+    problem = small_env.problem("BT", LOOSE_DEADLINE_FACTOR)
+    models = small_env.failure_models(problem)
+    opt = SompiOptimizer(problem, models, small_env.config)
+    return small_env, problem, opt
+
+
+class TestPlanBudget:
+    def test_budget_respected_in_expectation(self, setup):
+        env, problem, opt = setup
+        budget = opt.plan().expectation.cost * 1.5
+        plan = opt.plan_budget(budget)
+        assert plan.expectation.cost <= budget + 1e-6
+
+    def test_bigger_budget_never_slower(self, setup):
+        env, problem, opt = setup
+        base = opt.plan().expectation.cost
+        times = [
+            opt.plan_budget(b).expectation.time
+            for b in (base * 1.1, base * 3.0, base * 20.0)
+        ]
+        assert all(b <= a + 1e-6 for a, b in zip(times, times[1:]))
+
+    def test_huge_budget_buys_fastest_option(self, setup):
+        env, problem, opt = setup
+        plan = opt.plan_budget(1e6)
+        fastest = min(o.exec_time for o in problem.ondemand_options)
+        assert plan.expectation.time <= fastest + 1e-6
+
+    def test_tiny_budget_infeasible(self, setup):
+        env, problem, opt = setup
+        with pytest.raises(InfeasibleError):
+            opt.plan_budget(0.01)
+
+    def test_nonpositive_budget_rejected(self, setup):
+        env, problem, opt = setup
+        with pytest.raises(InfeasibleError):
+            opt.plan_budget(0.0)
+
+    def test_spot_beats_ondemand_time_for_mid_budget(self, setup):
+        """A budget below every on-demand bill still gets the job done
+        (on spot), at some time cost."""
+        env, problem, opt = setup
+        cheapest_od = min(o.full_run_cost for o in problem.ondemand_options)
+        budget = opt.plan().expectation.cost * 1.2
+        assert budget < cheapest_od  # spot is the only affordable path
+        plan = opt.plan_budget(budget)
+        assert plan.used_spot
+        assert plan.expectation.cost <= budget + 1e-6
+
+
+class TestObjectiveParameter:
+    def test_unknown_objective_rejected(self, setup):
+        env, problem, opt = setup
+        from repro.core.ondemand_select import select_ondemand_relaxed
+        from repro.core.two_level import TwoLevelOptimizer
+
+        _, od = select_ondemand_relaxed(
+            problem.ondemand_options, problem.deadline, env.config.slack
+        )
+        two = TwoLevelOptimizer(problem, opt.failure_models, od, env.config)
+        with pytest.raises(ConfigurationError):
+            two.optimize_subset((0,), objective="energy")
+
+    def test_time_objective_requires_budget(self, setup):
+        env, problem, opt = setup
+        from repro.core.ondemand_select import select_ondemand_relaxed
+        from repro.core.two_level import TwoLevelOptimizer
+
+        _, od = select_ondemand_relaxed(
+            problem.ondemand_options, problem.deadline, env.config.slack
+        )
+        two = TwoLevelOptimizer(problem, opt.failure_models, od, env.config)
+        with pytest.raises(ConfigurationError):
+            two.optimize_subset((0,), objective="time")
+
+    def test_duality_sanity(self, setup):
+        """Planning for cost then re-planning with that cost as budget
+        should not find a slower plan than the deadline allows."""
+        env, problem, opt = setup
+        cost_plan = opt.plan()
+        budget_plan = opt.plan_budget(cost_plan.expectation.cost * 1.001)
+        assert budget_plan.expectation.time <= cost_plan.expectation.time + 1e-6

@@ -1,0 +1,127 @@
+"""Chance-constraint tests (P(miss) bounds, cost quantiles)."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.instance_types import get_instance_type
+from repro.core.chance import cost_quantile, miss_probability, sample_outcomes
+from repro.core.cost_model import GroupOutcome, evaluate
+from repro.core.problem import OnDemandOption
+from repro.errors import ConfigurationError
+from tests.conftest import make_group
+
+
+@pytest.fixture
+def ondemand():
+    return OnDemandOption(get_instance_type("c3.xlarge"), 8, 6.0)
+
+
+def outcome(pmf, spec=None, interval=3.0, price=0.05):
+    spec = spec or make_group(exec_time=float(len(pmf) - 1))
+    return GroupOutcome.from_pmf(
+        spec, 0.1, interval, np.asarray(pmf, float), price, 1.0
+    )
+
+
+class TestSampling:
+    def test_sample_moments_match_model(self, ondemand):
+        spec = make_group(exec_time=6.0, overhead=0.25, recovery=0.25)
+        o = outcome([0.1, 0.1, 0.1, 0.1, 0.1, 0.0, 0.5], spec=spec)
+        exp = evaluate([o], ondemand)
+        rng = np.random.default_rng(1)
+        costs, times = sample_outcomes([o], ondemand, 100_000, rng)
+        assert costs.mean() == pytest.approx(exp.cost, rel=0.02)
+        assert times.mean() == pytest.approx(exp.time, rel=0.02)
+
+    def test_two_group_coupling(self, ondemand):
+        sa = make_group(zone="us-east-1a", exec_time=4.0)
+        sb = make_group(zone="us-east-1b", exec_time=4.0)
+        oa = outcome([0.5, 0, 0, 0, 0.5], spec=sa)
+        ob = outcome([0.5, 0, 0, 0, 0.5], spec=sb)
+        exp = evaluate([oa, ob], ondemand)
+        costs, times = sample_outcomes(
+            [oa, ob], ondemand, 100_000, np.random.default_rng(2)
+        )
+        assert costs.mean() == pytest.approx(exp.cost, rel=0.02)
+        assert times.mean() == pytest.approx(exp.time, rel=0.02)
+
+    def test_validation(self, ondemand):
+        with pytest.raises(ConfigurationError):
+            sample_outcomes([], ondemand, 10, np.random.default_rng(0))
+        o = outcome([0.5, 0.5])
+        with pytest.raises(ConfigurationError):
+            sample_outcomes([o], ondemand, 0, np.random.default_rng(0))
+
+
+class TestMissProbability:
+    def test_certain_completion_never_misses(self, ondemand):
+        o = outcome([0, 0, 0, 0, 1.0])
+        # wall at completion is deterministic; deadline above it
+        assert miss_probability([o], ondemand, deadline=50.0) == 0.0
+
+    def test_certain_failure_misses_tight_deadline(self, ondemand):
+        o = outcome([1.0, 0, 0, 0, 0])
+        # instant failure -> full on-demand rerun of 6h; deadline 3h
+        assert miss_probability([o], ondemand, deadline=3.0) == 1.0
+
+    def test_hand_computed_mixture(self, ondemand):
+        spec = make_group(exec_time=4.0, overhead=0.0, recovery=0.0)
+        o = outcome([0.3, 0, 0, 0, 0.7], spec=spec, interval=4.0)
+        # 30%: fail at t=0 -> time = 0 + 1.0*6 = 6; 70%: complete at 4.
+        assert miss_probability([o], ondemand, deadline=5.0) == pytest.approx(
+            0.3, abs=0.02
+        )
+
+    def test_expectation_can_hide_the_tail(self, ondemand):
+        """The motivating case: E[time] ok, P(miss) large."""
+        spec = make_group(exec_time=4.0, overhead=0.0, recovery=0.0)
+        o = outcome([0.3, 0, 0, 0, 0.7], spec=spec, interval=4.0)
+        exp = evaluate([o], ondemand)
+        deadline = 5.0
+        assert exp.time <= deadline  # expectation satisfied (4.6 <= 5)
+        assert miss_probability([o], ondemand, deadline) > 0.25
+
+
+class TestCostQuantile:
+    def test_quantiles_ordered(self, ondemand):
+        o = outcome([0.2, 0.1, 0.1, 0.1, 0.5])
+        q50 = cost_quantile([o], ondemand, 0.5)
+        q95 = cost_quantile([o], ondemand, 0.95)
+        assert q50 <= q95
+
+    def test_invalid_quantile(self, ondemand):
+        o = outcome([0.5, 0.5])
+        with pytest.raises(ConfigurationError):
+            cost_quantile([o], ondemand, 1.5)
+
+
+class TestOptimizerIntegration:
+    def test_chance_constrained_plan(self, small_env):
+        problem = small_env.problem("BT", 1.5)
+        relaxed = small_env.sompi_plan(problem)
+        strict_cfg = small_env.config.with_(max_miss_probability=0.05)
+        strict = small_env.sompi_plan(problem, strict_cfg)
+        # A feasible plan exists and costs at least as much as the
+        # unconstrained one (smaller feasible set).
+        assert strict.expectation.cost >= relaxed.expectation.cost - 1e-9
+        if strict.decision.groups:
+            from repro.core.chance import miss_probability as mp
+
+            models = small_env.failure_models(problem)
+            outcomes = [
+                GroupOutcome.build(
+                    problem.groups[g.group_index],
+                    g.bid,
+                    g.interval,
+                    models[problem.groups[g.group_index].key],
+                )
+                for g in strict.decision.groups
+            ]
+            od = problem.ondemand_options[strict.decision.ondemand_index]
+            assert mp(outcomes, od, problem.deadline) <= 0.05 + 1e-9
+
+    def test_config_validates_probability(self):
+        from repro.config import SompiConfig
+
+        with pytest.raises(Exception):
+            SompiConfig(max_miss_probability=1.5)

@@ -1,0 +1,90 @@
+"""CLI tests (drive main() in-process, capture stdout)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestPlan:
+    def test_plan_prints_decision(self, capsys):
+        code, out = run_cli(
+            capsys, "plan", "--app", "BT", "--deadline-factor", "1.5", "--kappa", "2"
+        )
+        assert code == 0
+        assert "expected cost" in out
+        assert "fallback:" in out
+        assert "bid combinations" in out
+
+    def test_plan_lammps_processes(self, capsys):
+        code, out = run_cli(
+            capsys, "plan", "--app", "LAMMPS", "--processes", "32", "--kappa", "2"
+        )
+        assert code == 0
+        assert "LAMMPS" in out
+
+    def test_unknown_app_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["plan", "--app", "EP"])
+
+
+class TestReplay:
+    def test_replay_reports_statistics(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "replay",
+            "--app",
+            "BT",
+            "--samples",
+            "30",
+            "--kappa",
+            "2",
+        )
+        assert code == 0
+        assert "replays" in out and "deadline misses" in out
+
+    def test_persistent_semantics_flag(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "replay",
+            "--app",
+            "BT",
+            "--samples",
+            "20",
+            "--kappa",
+            "2",
+            "--semantics",
+            "persistent",
+        )
+        assert code == 0
+        assert "persistent" in out
+
+
+class TestMarkets:
+    def test_lists_twelve_markets(self, capsys):
+        code, out = run_cli(capsys, "markets", "--days", "3")
+        assert code == 0
+        assert out.count("us-east-1") == 12
+
+
+class TestExportAndHistory:
+    def test_export_then_reuse(self, capsys, tmp_path):
+        path = tmp_path / "hist.json"
+        code, out = run_cli(capsys, "export-history", "--out", str(path))
+        assert code == 0
+        doc = json.loads(path.read_text())
+        assert doc["format"] == "repro.spot-history.v1"
+        assert len(doc["markets"]) == 12
+        # plan against the exported history
+        code, out = run_cli(
+            capsys, "plan", "--app", "BT", "--history", str(path), "--kappa", "2"
+        )
+        assert code == 0
+        assert "expected cost" in out

@@ -1,0 +1,65 @@
+"""Billing policy and ledger tests."""
+
+import pytest
+
+from repro.cloud.billing import CONTINUOUS, HOURLY, BillingPolicy, CostLedger
+from repro.errors import ConfigurationError
+
+
+class TestContinuous:
+    def test_exact_fraction(self):
+        assert CONTINUOUS.cost(0.10, 2.5) == pytest.approx(0.25)
+
+    def test_zero_duration(self):
+        assert CONTINUOUS.cost(0.10, 0.0) == 0.0
+
+
+class TestHourly:
+    def test_rounds_up(self):
+        assert HOURLY.billable_hours(2.1) == 3.0
+        assert HOURLY.billable_hours(3.0) == 3.0
+
+    def test_interrupted_partial_hour_refunded(self):
+        # 2014 spot semantics: Amazon-initiated kill refunds the last hour.
+        assert HOURLY.billable_hours(2.7, interrupted=True) == 2.0
+
+    def test_interrupted_refund_disabled(self):
+        strict = BillingPolicy(granularity_hours=1.0, refund_interrupted_hour=False)
+        assert strict.billable_hours(2.7, interrupted=True) == 3.0
+
+    def test_zero_duration_not_billed(self):
+        assert HOURLY.billable_hours(0.0) == 0.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HOURLY.billable_hours(-1.0)
+
+    def test_negative_price_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HOURLY.cost(-0.1, 1.0)
+
+    def test_hourly_never_cheaper_than_continuous(self):
+        for d in (0.1, 0.9, 1.0, 1.1, 7.3):
+            assert HOURLY.cost(1.0, d) >= CONTINUOUS.cost(1.0, d)
+
+
+class TestLedger:
+    def test_totals_by_category(self):
+        ledger = CostLedger()
+        ledger.add("spot", "a", 1.0)
+        ledger.add("spot", "b", 2.0)
+        ledger.add("ondemand", "c", 4.0)
+        assert ledger.total() == 7.0
+        assert ledger.total("spot") == 3.0
+        assert ledger.by_category() == {"spot": 3.0, "ondemand": 4.0}
+
+    def test_merge(self):
+        a, b = CostLedger(), CostLedger()
+        a.add("spot", "x", 1.0)
+        b.add("storage", "y", 0.5)
+        a.merge(b)
+        assert a.total() == 1.5
+
+    def test_rejects_negative_item(self):
+        with pytest.raises(ConfigurationError):
+            CostLedger().add("spot", "bad", -1.0)

@@ -1,0 +1,56 @@
+"""Instance catalog tests."""
+
+import pytest
+
+from repro.cloud.instance_types import (
+    CATALOG,
+    PAPER_TYPES,
+    InstanceType,
+    get_instance_type,
+    instances_needed,
+)
+from repro.errors import ConfigurationError
+
+
+class TestCatalog:
+    def test_paper_types_present(self):
+        for name in PAPER_TYPES:
+            assert name in CATALOG
+
+    def test_lookup_unknown_raises_with_hint(self):
+        with pytest.raises(ConfigurationError, match="m1.small"):
+            get_instance_type("m1.smalll")
+
+    def test_cc2_is_32_core_10gbe(self):
+        cc2 = get_instance_type("cc2.8xlarge")
+        assert cc2.vcpus == 32
+        assert cc2.network_gbps == 10.0
+
+    def test_price_ordering(self):
+        # Bigger machines cost more on demand.
+        prices = [get_instance_type(t).ondemand_price for t in PAPER_TYPES]
+        assert prices == sorted(prices)
+
+    def test_total_speed(self):
+        c3 = get_instance_type("c3.xlarge")
+        assert c3.total_speed == pytest.approx(c3.vcpus * c3.core_speed)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            InstanceType("bad", 0, 1.0, 1.0, 1.0, 1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            InstanceType("bad", 1, -1.0, 1.0, 1.0, 1.0, 1.0)
+
+
+class TestInstancesNeeded:
+    def test_one_process_per_core(self):
+        assert instances_needed(get_instance_type("m1.small"), 128) == 128
+        assert instances_needed(get_instance_type("cc2.8xlarge"), 128) == 4
+        assert instances_needed(get_instance_type("c3.xlarge"), 128) == 32
+
+    def test_rounds_up(self):
+        assert instances_needed(get_instance_type("cc2.8xlarge"), 33) == 2
+
+    def test_rejects_zero_processes(self):
+        with pytest.raises(ConfigurationError):
+            instances_needed(get_instance_type("m1.small"), 0)

@@ -1,0 +1,56 @@
+"""On-demand type selection tests (Section 4.1)."""
+
+import pytest
+
+from repro.cloud.instance_types import get_instance_type
+from repro.core.ondemand_select import feasible_options, select_ondemand
+from repro.core.problem import OnDemandOption
+from repro.errors import InfeasibleError
+
+
+@pytest.fixture
+def options():
+    return (
+        OnDemandOption(get_instance_type("m1.small"), 128, 40.0),  # $225.3
+        OnDemandOption(get_instance_type("m1.medium"), 128, 18.0),  # $200.4
+        OnDemandOption(get_instance_type("c3.xlarge"), 32, 14.0),  # $94.1
+        OnDemandOption(get_instance_type("cc2.8xlarge"), 4, 13.0),  # $104
+    )
+
+
+class TestSelection:
+    def test_picks_cheapest_feasible(self, options):
+        idx, opt = select_ondemand(options, deadline=25.0, slack=0.2)
+        # budget = 20h: c3.xlarge (14h, $94.1) is cheapest feasible
+        assert opt.itype.name == "c3.xlarge"
+        assert idx == 2
+
+    def test_tight_deadline_forces_fastest(self, options):
+        idx, opt = select_ondemand(options, deadline=17.0, slack=0.2)
+        # budget 13.6h: only cc2.8xlarge fits
+        assert opt.itype.name == "cc2.8xlarge"
+
+    def test_loose_deadline_allows_cheapest_overall(self, options):
+        _, opt = select_ondemand(options, deadline=100.0, slack=0.2)
+        assert opt.itype.name == "c3.xlarge"  # globally cheapest here
+
+    def test_infeasible_raises_with_fastest_named(self, options):
+        with pytest.raises(InfeasibleError, match="cc2.8xlarge"):
+            select_ondemand(options, deadline=10.0, slack=0.2)
+
+    def test_slack_shrinks_budget(self, options):
+        # Without slack, 14h fits a 14h deadline; with 20% the budget
+        # drops to 11.2h and nothing fits.
+        _, no_slack = select_ondemand(options, 14.0, 0.0)
+        assert no_slack.itype.name == "c3.xlarge"
+        with pytest.raises(InfeasibleError):
+            select_ondemand(options, 14.0, 0.2)
+        _, with_slack = select_ondemand(options, 17.0, 0.2)
+        assert with_slack.itype.name == "cc2.8xlarge"
+
+
+class TestFeasible:
+    def test_feasible_indices(self, options):
+        assert feasible_options(options, 25.0, 0.2) == [1, 2, 3]
+        assert feasible_options(options, 100.0, 0.0) == [0, 1, 2, 3]
+        assert feasible_options(options, 5.0, 0.0) == []

@@ -1,0 +1,104 @@
+"""Problem/Decision definition tests."""
+
+import pytest
+
+from repro.cloud.instance_types import get_instance_type
+from repro.core.problem import (
+    CircleGroupSpec,
+    Decision,
+    GroupDecision,
+    OnDemandOption,
+    Problem,
+)
+from repro.errors import ConfigurationError
+from repro.market.history import MarketKey
+from tests.conftest import make_group
+
+
+class TestCircleGroupSpec:
+    def test_for_processes_derives_fleet_size(self):
+        spec = CircleGroupSpec.for_processes(
+            MarketKey("cc2.8xlarge", "us-east-1a"),
+            get_instance_type("cc2.8xlarge"),
+            128,
+            exec_time=5.0,
+            checkpoint_overhead=0.1,
+            recovery_overhead=0.1,
+        )
+        assert spec.n_instances == 4
+
+    def test_key_type_must_match(self):
+        with pytest.raises(ConfigurationError):
+            CircleGroupSpec(
+                key=MarketKey("m1.small", "us-east-1a"),
+                itype=get_instance_type("m1.medium"),
+                n_instances=1,
+                exec_time=1.0,
+                checkpoint_overhead=0.0,
+                recovery_overhead=0.0,
+            )
+
+    def test_rejects_nonpositive_exec_time(self):
+        with pytest.raises(ConfigurationError):
+            make_group(exec_time=0.0)
+
+
+class TestOnDemandOption:
+    def test_rates(self):
+        opt = OnDemandOption(get_instance_type("c3.xlarge"), 32, 2.0)
+        assert opt.fleet_rate == pytest.approx(0.210 * 32)
+        assert opt.full_run_cost == pytest.approx(2.0 * 0.210 * 32)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            OnDemandOption(get_instance_type("c3.xlarge"), 0, 2.0)
+
+
+class TestProblem:
+    def test_requires_groups_and_options(self, simple_problem):
+        with pytest.raises(ConfigurationError):
+            Problem((), simple_problem.ondemand_options, 10.0)
+        with pytest.raises(ConfigurationError):
+            Problem(simple_problem.groups, (), 10.0)
+
+    def test_rejects_duplicate_markets(self, simple_problem):
+        g = simple_problem.groups[0]
+        with pytest.raises(ConfigurationError):
+            Problem((g, g), simple_problem.ondemand_options, 10.0)
+
+    def test_n_groups(self, simple_problem):
+        assert simple_problem.n_groups == 2
+
+
+class TestDecision:
+    def test_duplicate_groups_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Decision(
+                groups=(GroupDecision(0, 0.1, 1.0), GroupDecision(0, 0.2, 1.0)),
+                ondemand_index=0,
+            )
+
+    def test_group_indices(self):
+        d = Decision(
+            groups=(GroupDecision(1, 0.1, 1.0), GroupDecision(0, 0.2, 2.0)),
+            ondemand_index=0,
+        )
+        assert d.group_indices == (1, 0)
+
+    def test_describe_mentions_markets(self, simple_problem):
+        d = Decision(groups=(GroupDecision(0, 0.05, 2.0),), ondemand_index=1)
+        text = d.describe(simple_problem)
+        assert "m1.small@us-east-1a" in text
+        assert "cc2.8xlarge" in text
+
+    def test_empty_decision_is_valid(self):
+        d = Decision(groups=(), ondemand_index=0)
+        assert d.group_indices == ()
+
+    def test_negative_bid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GroupDecision(0, -0.1, 1.0)
+
+    def test_zero_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GroupDecision(0, 0.1, 0.0)

@@ -1,0 +1,127 @@
+"""Ratio function (Formula 7) and checkpoint-timeline arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.core.ckpt_math import (
+    checkpoints_completed,
+    progress_after_wall,
+    total_wall,
+    wall_for_productive,
+)
+from repro.core.ratio import ratio, ratio_array
+from repro.errors import ConfigurationError
+
+
+class TestRatio:
+    def test_completed_is_zero(self):
+        assert ratio(10.0, 10.0, 3.0, 0.5) == 0.0
+
+    def test_before_first_checkpoint_is_one(self):
+        assert ratio(0.0, 10.0, 3.0, 0.5) == 1.0
+        assert ratio(2.9, 10.0, 3.0, 0.5) == 1.0
+
+    def test_after_checkpoints(self):
+        # t=7, F=3: two checkpoints (saved 6h); remaining (10-6+0.5)/10
+        assert ratio(7.0, 10.0, 3.0, 0.5) == pytest.approx(0.45)
+
+    def test_exactly_at_checkpoint(self):
+        assert ratio(3.0, 10.0, 3.0, 0.0) == pytest.approx(0.7)
+
+    def test_capped_at_one(self):
+        # huge recovery overhead cannot make things worse than scratch
+        assert ratio(3.0, 10.0, 3.0, 100.0) == 1.0
+
+    def test_no_checkpointing_interval_equals_T(self):
+        assert ratio(9.9, 10.0, 10.0, 0.5) == 1.0
+        assert ratio(10.0, 10.0, 10.0, 0.5) == 0.0
+
+    def test_out_of_range_t(self):
+        with pytest.raises(ConfigurationError):
+            ratio(-1.0, 10.0, 3.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            ratio(11.0, 10.0, 3.0, 0.5)
+
+    def test_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            ratio(1.0, 0.0, 3.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            ratio(1.0, 10.0, 0.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            ratio(1.0, 10.0, 3.0, -0.5)
+
+
+class TestRatioArray:
+    def test_matches_scalar(self):
+        ts = np.array([0.0, 1.0, 2.9, 3.0, 5.5, 7.0, 9.9, 10.0])
+        vec = ratio_array(ts, 10.0, 3.0, 0.5)
+        scalars = [ratio(float(t), 10.0, 3.0, 0.5) for t in ts]
+        assert np.allclose(vec, scalars)
+
+    def test_monotone_nonincreasing_in_t_until_completion(self):
+        ts = np.linspace(0.0, 10.0, 101)
+        vec = ratio_array(ts, 10.0, 2.0, 0.1)
+        # ratio decreases (weakly) as more work is checkpointed
+        assert np.all(np.diff(vec) <= 1e-12)
+
+    def test_bounds(self):
+        ts = np.linspace(0.0, 10.0, 50)
+        vec = ratio_array(ts, 10.0, 2.5, 0.3)
+        assert np.all(vec >= 0.0) and np.all(vec <= 1.0)
+
+
+class TestCheckpointMath:
+    def test_checkpoints_completed_basic(self):
+        assert checkpoints_completed(7.0, 10.0, 3.0) == 2
+        assert checkpoints_completed(2.9, 10.0, 3.0) == 0
+        assert checkpoints_completed(3.0, 10.0, 3.0) == 1
+
+    def test_no_checkpoint_at_finish_line(self):
+        # F=5, T=10: checkpoint at 5 only; the one at 10 is never taken.
+        assert checkpoints_completed(10.0, 10.0, 5.0) == 1
+        # F=T: no checkpoints at all.
+        assert checkpoints_completed(10.0, 10.0, 10.0) == 0
+
+    def test_wall_for_productive(self):
+        # 7h work, 2 checkpoints of 0.5h
+        assert wall_for_productive(7.0, 10.0, 3.0, 0.5) == pytest.approx(8.0)
+
+    def test_total_wall(self):
+        # T=10, F=3 -> ckpts at 3,6,9 -> 3 checkpoints
+        assert total_wall(10.0, 3.0, 0.5) == pytest.approx(11.5)
+        assert total_wall(10.0, 10.0, 0.5) == pytest.approx(10.0)
+
+    def test_progress_roundtrip(self):
+        for p in (0.0, 1.0, 3.0, 4.5, 6.0, 8.2, 10.0):
+            w = wall_for_productive(p, 10.0, 3.0, 0.5)
+            productive, saved, _ = progress_after_wall(w, 10.0, 3.0, 0.5)
+            assert productive == pytest.approx(p)
+
+    def test_progress_mid_checkpoint_saves_previous(self):
+        # wall 3.2: 3h work done, checkpoint 1 in progress -> saved 0
+        productive, saved, n = progress_after_wall(3.2, 10.0, 3.0, 0.5)
+        assert productive == pytest.approx(3.0)
+        assert saved == 0.0
+        assert n == 0
+
+    def test_progress_after_first_full_cycle(self):
+        productive, saved, n = progress_after_wall(4.0, 10.0, 3.0, 0.5)
+        assert productive == pytest.approx(3.5)
+        assert saved == pytest.approx(3.0)
+        assert n == 1
+
+    def test_completion_detected(self):
+        productive, saved, n = progress_after_wall(11.5, 10.0, 3.0, 0.5)
+        assert productive == 10.0 and saved == 10.0 and n == 3
+
+    def test_zero_overhead(self):
+        productive, saved, n = progress_after_wall(7.0, 10.0, 3.0, 0.0)
+        assert productive == pytest.approx(7.0)
+        assert saved == pytest.approx(6.0)
+        assert n == 2
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            progress_after_wall(-1.0, 10.0, 3.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            total_wall(0.0, 3.0, 0.5)

@@ -1,0 +1,140 @@
+"""Monte-Carlo evaluation and adaptive-executor tests."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.instance_types import get_instance_type
+from repro.core.problem import Decision, GroupDecision, OnDemandOption, Problem
+from repro.errors import TraceError
+from repro.execution.adaptive import AdaptiveExecutor
+from repro.execution.montecarlo import (
+    evaluate_decision_mc,
+    replay_many,
+    sample_start_times,
+)
+from repro.market.history import MarketKey, SpotPriceHistory
+from repro.market.trace import SpotPriceTrace
+from tests.conftest import make_group
+
+
+@pytest.fixture
+def flat_problem():
+    g = make_group(exec_time=6.0, overhead=0.5, recovery=0.5, n_instances=2)
+    od = OnDemandOption(get_instance_type("c3.xlarge"), 8, 5.0)
+    problem = Problem(groups=(g,), ondemand_options=(od,), deadline=12.0)
+    h = SpotPriceHistory()
+    h.add(g.key, SpotPriceTrace([0.0], [0.05], 600.0))
+    return problem, h
+
+
+class TestSampling:
+    def test_starts_respect_horizon_and_tmin(self, flat_problem):
+        problem, h = flat_problem
+        d = Decision(groups=(GroupDecision(0, 0.1, 2.0),), ondemand_index=0)
+        rng = np.random.default_rng(0)
+        starts = sample_start_times(problem, d, h, 50, rng, t_min=100.0)
+        assert np.all(starts >= 100.0)
+        assert np.all(starts <= 600.0 - 26.0)
+
+    def test_too_short_history_raises(self, flat_problem):
+        problem, h = flat_problem
+        d = Decision(groups=(GroupDecision(0, 0.1, 2.0),), ondemand_index=0)
+        with pytest.raises(TraceError):
+            sample_start_times(problem, d, h, 10, np.random.default_rng(0), t_min=599.0)
+
+    def test_pure_ondemand_needs_no_trace(self, flat_problem):
+        problem, _ = flat_problem
+        d = Decision(groups=(), ondemand_index=0)
+        starts = sample_start_times(
+            problem, d, SpotPriceHistory(), 5, np.random.default_rng(0)
+        )
+        assert np.all(starts == 0.0)
+
+
+class TestEvaluation:
+    def test_deterministic_market_gives_zero_variance(self, flat_problem):
+        problem, h = flat_problem
+        d = Decision(groups=(GroupDecision(0, 0.1, 2.0),), ondemand_index=0)
+        summary = evaluate_decision_mc(problem, d, h, 50, np.random.default_rng(1))
+        assert summary.std_cost == pytest.approx(0.0, abs=1e-9)
+        assert summary.mean_cost == pytest.approx(0.05 * 7.0 * 2)
+        assert summary.deadline_miss_rate == 0.0
+        assert summary.spot_completion_rate == 1.0
+
+    def test_reproducible_given_rng(self, flat_problem):
+        problem, h = flat_problem
+        d = Decision(groups=(GroupDecision(0, 0.1, 2.0),), ondemand_index=0)
+        a = evaluate_decision_mc(problem, d, h, 20, np.random.default_rng(5))
+        b = evaluate_decision_mc(problem, d, h, 20, np.random.default_rng(5))
+        assert a == b
+
+    def test_replay_many_returns_raw_results(self, flat_problem):
+        problem, h = flat_problem
+        d = Decision(groups=(GroupDecision(0, 0.1, 2.0),), ondemand_index=0)
+        results = replay_many(problem, d, h, 7, np.random.default_rng(2))
+        assert len(results) == 7
+        assert all(r.completed for r in results)
+
+    def test_mc_close_to_cost_model_on_spiky_market(self):
+        """Section 5.4.1: model expectation vs Monte-Carlo replay."""
+        from repro.core.cost_model import GroupOutcome, evaluate
+        from repro.market.failure import FailureModel
+
+        g = make_group(exec_time=6.0, overhead=0.25, recovery=0.25, n_instances=2)
+        od = OnDemandOption(get_instance_type("c3.xlarge"), 8, 5.0)
+        problem = Problem(groups=(g,), ondemand_options=(od,), deadline=30.0)
+        # alternating 9h cheap / 3h expensive
+        times, prices = [], []
+        for k in range(100):
+            times += [12.0 * k, 12.0 * k + 9.0]
+            prices += [0.05, 0.90]
+        h = SpotPriceHistory()
+        h.add(g.key, SpotPriceTrace(times, prices, 1212.0))
+        bid, interval = 0.10, 2.0
+        fm = FailureModel(h.get(g.key))
+        outcome = GroupOutcome.build(g, bid, interval, fm, 1.0)
+        model = evaluate([outcome], od)
+        d = Decision(groups=(GroupDecision(0, bid, interval),), ondemand_index=0)
+        mc = evaluate_decision_mc(problem, d, h, 3000, np.random.default_rng(3))
+        # The paper reports <=15% relative difference; allow 25% slack here.
+        assert mc.mean_cost == pytest.approx(model.cost, rel=0.25)
+
+
+class TestAdaptive:
+    def test_completes_within_deadline_on_calm_market(self, small_env):
+        problem = small_env.problem("BT", 1.5)
+        ex = AdaptiveExecutor(problem, small_env.history, small_env.config)
+        res = ex.run(start_time=small_env.train_end + 10.0)
+        assert res.completed
+        assert res.makespan <= problem.deadline * 1.1
+
+    def test_cost_not_absurd(self, small_env):
+        app = small_env.app("BT")
+        problem = small_env.problem(app, 1.5)
+        ex = AdaptiveExecutor(problem, small_env.history, small_env.config)
+        res = ex.run(start_time=small_env.train_end + 10.0)
+        assert res.cost <= small_env.baseline_cost(app) * 1.5
+
+    def test_frozen_models_variant_runs(self, small_env):
+        problem = small_env.problem("BT", 1.5)
+        ex = AdaptiveExecutor(
+            problem, small_env.history, small_env.config, refresh_models=False
+        )
+        res = ex.run(start_time=small_env.train_end + 10.0)
+        assert res.completed
+
+    def test_impossible_deadline_falls_back_fast(self, small_env):
+        problem = small_env.problem("BT", deadline_hours=1.0)
+        ex = AdaptiveExecutor(problem, small_env.history, small_env.config)
+        res = ex.run(start_time=small_env.train_end + 10.0)
+        assert res.completed  # finishes, just misses the deadline
+        assert res.fallback_used
+        assert not res.met_deadline
+
+    def test_window_records_are_consistent(self, small_env):
+        problem = small_env.problem("BT", 2.0)
+        ex = AdaptiveExecutor(problem, small_env.history, small_env.config)
+        res = ex.run(start_time=small_env.train_end + 10.0)
+        for w in res.windows:
+            assert w.t1 > w.t0
+            assert 0.0 <= w.fraction_before <= w.fraction_after <= 1.0

@@ -1,0 +1,213 @@
+"""Experiment-module tests: each reproduced artifact has the paper's shape.
+
+These run on the reduced ``small_env`` where possible and on quick
+sampling everywhere, so the whole file stays in tens of seconds while
+still asserting the qualitative claims.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    accuracy,
+    fig1_price_variation,
+    fig2_price_histogram,
+    fig4_failure_rate,
+    fig5_cost_comparison,
+    fig6_heuristics,
+    fig7_deadline_sweep,
+    fig8_fault_tolerance,
+    param_study,
+    reduction,
+    table2_exec_time,
+)
+from repro.experiments.common import ExperimentResult
+
+
+class TestResultType:
+    def test_row_arity_checked(self):
+        res = ExperimentResult("X", "t", columns=("a", "b"))
+        with pytest.raises(ValueError):
+            res.add_row(1)
+
+    def test_format_contains_id_and_rows(self):
+        res = ExperimentResult("X", "title", columns=("a", "b"))
+        res.add_row("r", 1.5)
+        text = res.format_table()
+        assert "X: title" in text and "1.500" in text
+
+
+class TestFig1(object):
+    def test_shapes(self, paper_env):
+        res = fig1_price_variation.run(paper_env)
+        assert len(res.rows) == 4
+        spiky = res.data["m1.medium@us-east-1a"]
+        calm = res.data["m1.medium@us-east-1b"]
+        # temporal variation in the busy zone, none in the quiet one
+        assert spiky.max_price > 3 * spiky.min_price
+        assert calm.max_price < 2 * calm.min_price
+        # spatial variation: same type, different zones, different cv
+        assert spiky.coefficient_of_variation > 5 * calm.coefficient_of_variation
+
+
+class TestFig2:
+    def test_daily_distributions_stable(self, paper_env):
+        res = fig2_price_histogram.run(paper_env)
+        tv = res.data["tv_matrix"]
+        off = tv[np.triu_indices(tv.shape[0], 1)]
+        assert off.max() < 0.4
+        for hist in res.data["histograms"]:
+            assert hist.sum() == pytest.approx(1.0)
+
+
+class TestFig4:
+    def test_curve_shapes(self, paper_env):
+        res = fig4_failure_rate.run(paper_env)
+        for curve in res.data["curves"].values():
+            # S(P) weakly increases with the bid
+            assert np.all(np.diff(curve["price"]) >= -1e-9)
+            # failure probability at the max bid is (near) zero
+            assert curve["fail"][-1] < 0.05
+            # failure probability at a low bid is substantial
+            assert curve["fail"][0] > 0.2
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def res(self, paper_env):
+        return fig5_cost_comparison.run(
+            paper_env, apps=("BT", "FT", "BTIO"), lammps_procs=(), n_samples=60
+        )
+
+    def test_sompi_cheapest_everywhere(self, res):
+        for cell in res.data["normalized"].values():
+            for other in ("On-demand", "Marathe", "Marathe-Opt"):
+                assert cell["SOMPI"] <= cell[other] + 0.02
+
+    def test_sompi_large_savings_vs_ondemand(self, res):
+        cells = res.data["normalized"].values()
+        avg = np.mean([c["SOMPI"] / c["On-demand"] for c in cells])
+        assert avg < 0.6  # paper: ~0.3
+
+    def test_marathe_loses_to_baseline_on_btio(self, res):
+        assert res.data["normalized"]["BTIO:loose"]["Marathe"] > 1.0
+
+    def test_marathe_opt_beats_marathe_loose_compute(self, res):
+        cell = res.data["normalized"]["BT:loose"]
+        assert cell["Marathe-Opt"] < cell["Marathe"]
+
+    def test_marathe_opt_near_marathe_tight_compute(self, res):
+        cell = res.data["normalized"]["BT:tight"]
+        assert cell["Marathe-Opt"] <= cell["Marathe"] + 0.05
+
+
+class TestTable2:
+    def test_times_within_deadline_factors(self, paper_env):
+        res = table2_exec_time.run(paper_env, apps=("BT", "FT"), n_samples=60)
+        data = res.data["normalized_time"]
+        for method in ("Marathe-Opt", "SOMPI"):
+            for t in data[f"loose:{method}"]:
+                assert t <= 1.55
+            for t in data[f"tight:{method}"]:
+                assert t <= 1.35  # near the tight deadline
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def res(self, paper_env):
+        return fig6_heuristics.run(paper_env, n_samples=60)
+
+    def test_spot_heuristics_beat_ondemand(self, res):
+        for cell in res.data["normalized"].values():
+            assert cell["Spot-Inf"] < cell["On-demand"]
+
+    def test_sompi_beats_heuristics_on_average(self, res):
+        cells = list(res.data["normalized"].values())
+        for other in ("Spot-Inf", "Spot-Avg"):
+            avg = np.mean([c["SOMPI"] / c[other] for c in cells])
+            assert avg < 1.0
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def res(self, paper_env):
+        return fig7_deadline_sweep.run(
+            paper_env, apps=("BT", "FT"), factors=(1.05, 1.5, 2.0, 3.4)
+        )
+
+    def test_cost_nonincreasing_in_deadline(self, res):
+        for curve in res.data["curves"].values():
+            c = curve["cost"]
+            assert all(b <= a + 1e-6 for a, b in zip(c, c[1:]))
+
+    def test_bt_switches_types(self, res):
+        types = res.data["curves"]["BT"]["types"]
+        assert types[0] != types[-1]  # cc2 at tight -> cheaper type later
+
+    def test_ft_stays_on_cc2(self, res):
+        for used in res.data["curves"]["FT"]["types"]:
+            assert used == ["cc2.8xlarge"]
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def res(self, paper_env):
+        return fig8_fault_tolerance.run(
+            paper_env, n_samples=80, n_adaptive_starts=6
+        )
+
+    def test_sompi_beats_all_unable(self, res):
+        raw = res.data["normalized"]
+        assert raw["loose:SOMPI"] < raw["loose:All-Unable"] * 0.9
+
+    def test_sompi_beats_wo_ck(self, res):
+        raw = res.data["normalized"]
+        assert raw["loose:SOMPI"] < raw["loose:w/o-CK"] * 0.95
+
+    def test_all_rows_positive(self, res):
+        for row in res.rows:
+            assert row[2] > 0
+
+
+class TestParamStudy:
+    def test_slack_rows(self, paper_env):
+        res = param_study.run_slack(paper_env, n_samples=40, slacks=(0.1, 0.2))
+        assert len(res.rows) == 2
+        assert all(0 < row[1] < 1.5 for row in res.rows)
+
+    def test_kappa_overhead_grows(self, paper_env):
+        res = param_study.run_kappa(paper_env, kappas=(1, 2, 3))
+        combos = res.data["combos"]
+        assert combos[0] < combos[1] < combos[2]
+        costs = res.data["costs"]
+        assert all(b <= a + 1e-9 for a, b in zip(costs, costs[1:]))
+
+    def test_window_sweep_shapes(self, paper_env):
+        res = param_study.run_window(
+            paper_env, windows=(6.0, 20.0), n_starts=4
+        )
+        assert len(res.rows) == 2
+        assert all(row[1] > 0 for row in res.rows)
+
+
+class TestAccuracy:
+    def test_failure_rate_accuracy(self, paper_env):
+        res = accuracy.run_failure_rate(paper_env, n_windows=4)
+        diffs = res.data["diffs"]
+        assert diffs.size > 50
+        assert np.median(diffs) < 0.35
+
+    def test_model_accuracy(self, paper_env):
+        res = accuracy.run_model(paper_env, apps=("BT",), n_samples=150)
+        assert res.data["diffs"].max() < 0.5
+
+
+class TestReduction:
+    def test_counts_and_measurement(self, paper_env):
+        res = reduction.run(paper_env)
+        counts = res.data["analytic"]
+        assert counts["naive"] > counts["dimension_reduced"] > counts["log_search"]
+        log_best, log_evals = res.data["measured"]["log"]
+        uni_best, uni_evals = res.data["measured"]["uniform"]
+        assert log_evals < uni_evals / 100
+        assert log_best <= uni_best * 1.10  # near-equal solution quality

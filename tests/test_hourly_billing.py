@@ -1,0 +1,84 @@
+"""Hourly spot billing tests (2014 EC2 semantics)."""
+
+import pytest
+
+from repro.cloud.billing import CONTINUOUS, HOURLY, BillingPolicy
+from repro.cloud.instance_types import get_instance_type
+from repro.cloud.spot import billed_spot_cost
+from repro.core.problem import Decision, GroupDecision, OnDemandOption, Problem
+from repro.execution.replay import replay_decision
+from repro.market.history import SpotPriceHistory
+from repro.market.trace import SpotPriceTrace
+from tests.conftest import make_group
+
+
+class TestBilledSpotCost:
+    def test_continuous_equals_integral(self, step_trace):
+        cost = billed_spot_cost(step_trace, 4.0, 9.0, False, CONTINUOUS)
+        assert cost == pytest.approx(1.65)
+
+    def test_hourly_locks_price_at_hour_start(self, step_trace):
+        # launch at 4.0 on price 0.10; hour [4,5) billed at 0.10 even
+        # though the price rises to 0.50 at 5.0; [5,6) billed at 0.50.
+        cost = billed_spot_cost(step_trace, 4.0, 6.0, False, HOURLY)
+        assert cost == pytest.approx(0.10 + 0.50)
+
+    def test_partial_hour_rounded_up_when_user_stops(self, step_trace):
+        cost = billed_spot_cost(step_trace, 0.0, 1.5, False, HOURLY)
+        assert cost == pytest.approx(0.10 * 2)
+
+    def test_partial_hour_free_when_interrupted(self, step_trace):
+        cost = billed_spot_cost(step_trace, 0.0, 1.5, True, HOURLY)
+        assert cost == pytest.approx(0.10)
+
+    def test_interrupted_within_first_hour_is_free(self, step_trace):
+        cost = billed_spot_cost(step_trace, 0.0, 0.4, True, HOURLY)
+        assert cost == 0.0
+
+    def test_no_refund_policy(self, step_trace):
+        strict = BillingPolicy(granularity_hours=1.0, refund_interrupted_hour=False)
+        cost = billed_spot_cost(step_trace, 0.0, 0.4, True, strict)
+        assert cost == pytest.approx(0.10)
+
+    def test_zero_duration(self, step_trace):
+        assert billed_spot_cost(step_trace, 5.0, 5.0, False, HOURLY) == 0.0
+
+
+class TestReplayWithHourlyBilling:
+    def setup_problem(self):
+        g = make_group(exec_time=6.0, overhead=0.5, recovery=0.5, n_instances=2)
+        od = OnDemandOption(get_instance_type("c3.xlarge"), 8, 5.0)
+        problem = Problem(groups=(g,), ondemand_options=(od,), deadline=30.0)
+        h = SpotPriceHistory()
+        h.add(g.key, SpotPriceTrace([0.0], [0.05], 400.0))
+        return problem, h
+
+    def test_hourly_rounds_up_completion(self):
+        problem, h = self.setup_problem()
+        d = Decision(groups=(GroupDecision(0, 0.1, 2.0),), ondemand_index=0)
+        cont = replay_decision(problem, d, h, 0.0)
+        hourly = replay_decision(problem, d, h, 0.0, billing=HOURLY)
+        # wall 7.0h bills 7 whole hours either way here
+        assert hourly.cost == pytest.approx(cont.cost)
+
+    def test_hourly_refund_on_interruption(self):
+        g = make_group(exec_time=6.0, overhead=0.5, recovery=0.5, n_instances=2)
+        od = OnDemandOption(get_instance_type("c3.xlarge"), 8, 5.0)
+        problem = Problem(groups=(g,), ondemand_options=(od,), deadline=30.0)
+        h = SpotPriceHistory()
+        # dies at 2.5h: continuous bills 2.5h, hourly refunds to 2h
+        h.add(g.key, SpotPriceTrace([0.0, 2.5], [0.05, 0.9], 400.0))
+        d = Decision(groups=(GroupDecision(0, 0.1, 6.0),), ondemand_index=0)
+        cont = replay_decision(problem, d, h, 0.0)
+        hourly = replay_decision(problem, d, h, 0.0, billing=HOURLY)
+        spot_cont = cont.ledger.total("spot")
+        spot_hourly = hourly.ledger.total("spot")
+        assert spot_cont == pytest.approx(0.05 * 2.5 * 2)
+        assert spot_hourly == pytest.approx(0.05 * 2.0 * 2)
+
+    def test_hourly_never_cheaper_on_user_stopped_runs(self):
+        problem, h = self.setup_problem()
+        d = Decision(groups=(GroupDecision(0, 0.1, 3.3),), ondemand_index=0)
+        cont = replay_decision(problem, d, h, 0.0)
+        hourly = replay_decision(problem, d, h, 0.0, billing=HOURLY)
+        assert hourly.cost >= cont.cost - 1e-9

@@ -1,0 +1,113 @@
+"""Correlated-market extension tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.market.correlated import (
+    RegionSurge,
+    build_correlated_history,
+    overlay_price_floor,
+    sample_surges,
+)
+from repro.market.history import MarketKey
+from repro.market.trace import SpotPriceTrace
+
+
+class TestOverlay:
+    def test_raises_prices_inside_window(self, step_trace):
+        out = overlay_price_floor(step_trace, 1.0, 3.0, 0.9)
+        assert out.price_at(2.0) == 0.9
+        assert out.price_at(0.5) == 0.10
+        assert out.price_at(3.5) == 0.10
+
+    def test_no_op_when_floor_below_prices(self, step_trace):
+        out = overlay_price_floor(step_trace, 20.0, 24.0, 0.5)
+        assert out == step_trace
+
+    def test_window_clipped_to_trace(self, step_trace):
+        out = overlay_price_floor(step_trace, -5.0, 2.0, 0.9)
+        assert out.price_at(1.0) == 0.9
+        out2 = overlay_price_floor(step_trace, 100.0, 200.0, 0.9)
+        assert out2 == step_trace
+
+    def test_preserves_window_bounds(self, step_trace):
+        out = overlay_price_floor(step_trace, 1.0, 3.0, 0.9)
+        assert out.start_time == step_trace.start_time
+        assert out.end_time == step_trace.end_time
+
+    def test_partial_overlap_of_segment_boundary(self, step_trace):
+        # overlay [4, 6): covers end of 0.10 segment and start of 0.50 one
+        out = overlay_price_floor(step_trace, 4.0, 6.0, 0.3)
+        assert out.price_at(4.5) == 0.3
+        assert out.price_at(5.5) == 0.5  # 0.50 > floor stays
+        assert out.price_at(6.5) == 0.5
+
+    def test_empty_window_rejected(self, step_trace):
+        with pytest.raises(ConfigurationError):
+            overlay_price_floor(step_trace, 3.0, 3.0, 1.0)
+
+    def test_mean_price_never_decreases(self, step_trace):
+        out = overlay_price_floor(step_trace, 2.0, 22.0, 0.2)
+        assert out.mean_price() >= step_trace.mean_price()
+
+
+class TestSurges:
+    def test_reproducible(self):
+        a = sample_surges(500.0, np.random.default_rng(1))
+        b = sample_surges(500.0, np.random.default_rng(1))
+        assert a == b
+
+    def test_within_window(self):
+        surges = sample_surges(100.0, np.random.default_rng(2), rate_per_hour=0.2)
+        for s in surges:
+            assert 0.0 <= s.start <= s.end <= 100.0
+            assert s.severity > 0
+
+    def test_sorted_by_start(self):
+        surges = sample_surges(500.0, np.random.default_rng(3), rate_per_hour=0.1)
+        starts = [s.start for s in surges]
+        assert starts == sorted(starts)
+
+
+class TestCorrelatedHistory:
+    def test_rho_zero_equals_presets_marginals(self):
+        """rho=0: no surge joins, traces equal the independent generator's."""
+        h = build_correlated_history(240.0, seed=5, correlation=0.0)
+        assert len(h) == 12
+        # No overlay applied: every market is exactly its base generator
+        # output (same derived seed as corr-market stream).
+        for key, trace in h.items():
+            assert trace.duration == pytest.approx(240.0)
+
+    def test_rho_one_floors_every_market_during_surges(self):
+        surges = sample_surges(
+            720.0,
+            np.random.default_rng(
+                __import__("repro.sim.rng", fromlist=["derive_seed"]).derive_seed(
+                    5, "region-surges"
+                )
+            ),
+            rate_per_hour=0.02,
+        )
+        if not surges:
+            pytest.skip("no surges drawn for this seed")
+        h = build_correlated_history(720.0, seed=5, correlation=1.0)
+        surge = max(surges, key=lambda s: s.duration)
+        mid = surge.start + surge.duration / 2
+        from repro.market.presets import market_params
+
+        for key, trace in h.items():
+            params = market_params(key.instance_type, key.zone)
+            assert trace.price_at(mid) >= surge.severity * params.base_price - 1e-12
+
+    def test_higher_rho_higher_mean_prices(self):
+        lo = build_correlated_history(720.0, seed=5, correlation=0.0)
+        hi = build_correlated_history(720.0, seed=5, correlation=1.0)
+        lo_mean = np.mean([t.mean_price() for _k, t in lo.items()])
+        hi_mean = np.mean([t.mean_price() for _k, t in hi.items()])
+        assert hi_mean >= lo_mean
+
+    def test_invalid_correlation(self):
+        with pytest.raises(ConfigurationError):
+            build_correlated_history(100.0, seed=1, correlation=1.5)

@@ -1,0 +1,86 @@
+"""Regime-switching generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.market.generator import (
+    PRICE_FLOOR,
+    RegimeSwitchingGenerator,
+    SpotMarketParams,
+    generate_market,
+)
+
+
+def params(**kw) -> SpotMarketParams:
+    base = dict(base_price=0.1, spike_rate=0.05, spike_magnitude=20.0)
+    base.update(kw)
+    return SpotMarketParams(**base)
+
+
+class TestParams:
+    def test_rejects_nonpositive_base(self):
+        with pytest.raises(Exception):
+            SpotMarketParams(base_price=0.0)
+
+    def test_rejects_negative_rates(self):
+        with pytest.raises(Exception):
+            SpotMarketParams(base_price=0.1, spike_rate=-1.0)
+
+
+class TestGeneration:
+    def test_reproducible_from_seed(self):
+        a = generate_market(params(), 72.0, seed=5)
+        b = generate_market(params(), 72.0, seed=5)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generate_market(params(), 72.0, seed=5)
+        b = generate_market(params(), 72.0, seed=6)
+        assert a != b
+
+    def test_window_bounds(self):
+        tr = generate_market(params(), 100.0, seed=1, start_time=50.0)
+        assert tr.start_time == 50.0
+        assert tr.end_time == pytest.approx(150.0)
+
+    def test_prices_above_floor(self):
+        tr = generate_market(params(calm_volatility=0.5), 200.0, seed=2)
+        assert tr.min_price() >= PRICE_FLOOR
+
+    def test_calm_market_stays_near_base(self):
+        tr = generate_market(
+            params(spike_rate=0.0, calm_volatility=0.02), 240.0, seed=3
+        )
+        assert 0.05 <= tr.mean_price() <= 0.2
+        assert tr.max_price() < 0.5
+
+    def test_spiky_market_exceeds_base(self):
+        tr = generate_market(
+            params(spike_rate=0.1, spike_magnitude=50.0), 480.0, seed=4
+        )
+        assert tr.max_price() > 1.0  # at least one 10x+ spike in 20 days
+
+    def test_spikes_are_transient(self):
+        tr = generate_market(
+            params(spike_rate=0.05, spike_magnitude=50.0, spike_duration_mean=0.5),
+            480.0,
+            seed=4,
+        )
+        # Most of the time the market is calm (paper Figure 1 shape).
+        assert tr.fraction_below(0.5) > 0.8
+
+    def test_compression_removes_constant_runs(self):
+        tr = generate_market(params(spike_rate=0.0, calm_change_rate=0.01), 240.0, seed=9)
+        # ~2880 grid points but only a handful of changes survive.
+        assert tr.n_segments < 100
+
+    def test_zero_duration_rejected(self):
+        gen = RegimeSwitchingGenerator(params(), np.random.default_rng(0))
+        with pytest.raises(Exception):
+            gen.generate(0.0)
+
+    def test_generator_instance_advances_state(self):
+        gen = RegimeSwitchingGenerator(params(), np.random.default_rng(0))
+        a = gen.generate(48.0)
+        b = gen.generate(48.0)
+        assert a != b  # consecutive windows are different sample paths

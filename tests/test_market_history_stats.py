@@ -1,0 +1,138 @@
+"""History store and stats tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, TraceError
+from repro.market import stats
+from repro.market.history import MarketKey, SpotPriceHistory
+from repro.market.presets import build_history, market_params, paper_market_keys
+from repro.market.trace import SpotPriceTrace
+
+
+class TestMarketKey:
+    def test_ordering_and_str(self):
+        a = MarketKey("m1.small", "us-east-1a")
+        b = MarketKey("m1.small", "us-east-1b")
+        assert a < b
+        assert str(a) == "m1.small@us-east-1a"
+
+    def test_hashable(self):
+        assert len({MarketKey("a", "z"), MarketKey("a", "z")}) == 1
+
+
+class TestHistory:
+    def test_add_get(self, flat_trace):
+        h = SpotPriceHistory()
+        key = MarketKey("m1.small", "us-east-1a")
+        h.add(key, flat_trace)
+        assert h.get(key) is flat_trace
+        assert key in h and len(h) == 1
+
+    def test_get_missing_raises(self):
+        with pytest.raises(TraceError):
+            SpotPriceHistory().get(MarketKey("x", "y"))
+
+    def test_extend_concatenates(self, flat_trace, step_trace):
+        h = SpotPriceHistory()
+        key = MarketKey("m1.small", "us-east-1a")
+        h.extend(key, step_trace)
+        h.extend(key, flat_trace)
+        assert h.get(key).duration == pytest.approx(24.0 + 240.0)
+
+    def test_window(self, step_trace):
+        h = SpotPriceHistory()
+        key = MarketKey("m1.small", "us-east-1a")
+        h.add(key, step_trace)
+        assert h.window(key, 8.0, 20.0).mean_price() == pytest.approx(0.05)
+
+    def test_keys_sorted(self, flat_trace):
+        h = SpotPriceHistory()
+        h.add(MarketKey("b", "z"), flat_trace)
+        h.add(MarketKey("a", "z"), flat_trace)
+        assert [k.instance_type for k in h.keys()] == ["a", "b"]
+
+
+class TestHistogram:
+    def test_time_weighted(self, step_trace):
+        edges = np.array([0.0, 0.2, 1.0, 3.0])
+        hist = stats.time_weighted_histogram(step_trace, edges)
+        assert hist.sum() == pytest.approx(1.0)
+        assert hist[0] == pytest.approx(17 / 24)  # 0.10 and 0.05
+        assert hist[1] == pytest.approx(3 / 24)  # 0.50
+        assert hist[2] == pytest.approx(4 / 24)  # 2.0
+
+    def test_bad_edges(self, step_trace):
+        with pytest.raises(ConfigurationError):
+            stats.time_weighted_histogram(step_trace, np.array([1.0]))
+        with pytest.raises(ConfigurationError):
+            stats.time_weighted_histogram(step_trace, np.array([1.0, 0.5]))
+
+    def test_out_of_range_prices_clipped(self, step_trace):
+        edges = np.array([0.08, 0.3])  # excludes 0.05 and 2.0
+        hist = stats.time_weighted_histogram(step_trace, edges)
+        assert hist.sum() == pytest.approx(1.0)
+
+
+class TestStability:
+    def test_daily_slices(self, flat_trace):
+        days = stats.daily_slices(flat_trace, 4)
+        assert len(days) == 4
+        assert all(d.duration == pytest.approx(24.0) for d in days)
+
+    def test_daily_slices_too_short(self, step_trace):
+        with pytest.raises(TraceError):
+            stats.daily_slices(step_trace, 2)
+
+    def test_total_variation_bounds(self):
+        p = np.array([1.0, 0.0])
+        q = np.array([0.0, 1.0])
+        assert stats.total_variation_distance(p, q) == 1.0
+        assert stats.total_variation_distance(p, p) == 0.0
+
+    def test_stable_distribution_on_preset_market(self):
+        """Figure 2: day-over-day distributions agree on a preset market."""
+        h = build_history(24.0 * 6, seed=3)
+        trace = h.get(MarketKey("m1.medium", "us-east-1a"))
+        m = stats.distribution_stability(trace, 4)
+        off_diag = m[np.triu_indices(4, 1)]
+        assert np.all(off_diag <= 0.35)
+        assert np.allclose(m, m.T)
+
+    def test_relative_difference(self):
+        assert stats.relative_difference(2.0, 1.0) == 0.5
+        assert stats.relative_difference(0.0, 0.0) == 0.0
+        assert stats.relative_difference(0.0, 1.0) == np.inf
+
+
+class TestSummary:
+    def test_trace_summary(self, step_trace):
+        s = stats.TraceSummary.of(step_trace, spike_threshold=1.0)
+        assert s.min_price == 0.05 and s.max_price == 2.0
+        assert s.n_changes == 3
+        assert s.spike_fraction == pytest.approx(4 / 24)
+        assert s.coefficient_of_variation > 0
+
+
+class TestPresets:
+    def test_all_paper_markets_present(self):
+        h = build_history(48.0, seed=1)
+        assert len(h) == 12
+        for key in paper_market_keys():
+            assert key in h
+
+    def test_zone_personalities_differ(self):
+        h = build_history(24.0 * 14, seed=1)
+        spiky = h.get(MarketKey("m1.medium", "us-east-1a"))
+        calm = h.get(MarketKey("m1.medium", "us-east-1b"))
+        assert spiky.max_price() > 5 * calm.max_price()
+
+    def test_base_price_fraction_of_ondemand(self):
+        p = market_params("cc2.8xlarge", "us-east-1c")
+        assert 0.1 < p.base_price / 2.0 < 0.5
+
+    def test_markets_reproducible_and_independent_of_set(self):
+        h1 = build_history(48.0, seed=5)
+        h2 = build_history(48.0, seed=5, instance_types=("m1.medium",))
+        key = MarketKey("m1.medium", "us-east-1a")
+        assert h1.get(key) == h2.get(key)

@@ -1,0 +1,147 @@
+"""Trace persistence tests: CSV, JSON, AWS format."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.market.history import MarketKey, SpotPriceHistory
+from repro.market.io import (
+    history_from_aws,
+    history_from_json,
+    history_to_json,
+    load_history,
+    save_history,
+    trace_from_csv,
+    trace_to_csv,
+)
+from repro.market.presets import build_history
+from repro.market.trace import SpotPriceTrace
+
+
+class TestCsv:
+    def test_roundtrip(self, step_trace, tmp_path):
+        path = tmp_path / "trace.csv"
+        trace_to_csv(step_trace, path)
+        back = trace_from_csv(path)
+        assert back == step_trace
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(TraceError, match="header"):
+            trace_from_csv(path)
+
+    def test_missing_end_marker(self, tmp_path):
+        path = tmp_path / "noend.csv"
+        path.write_text("time_hours,price\n0.0,0.1\n")
+        with pytest.raises(TraceError, match="end marker"):
+            trace_from_csv(path)
+
+    def test_float_precision_preserved(self, tmp_path):
+        trace = SpotPriceTrace([0.0, 1.0 / 3.0], [0.1, 1e-7], 2.0)
+        path = tmp_path / "precise.csv"
+        trace_to_csv(trace, path)
+        back = trace_from_csv(path)
+        assert np.array_equal(back.times, trace.times)
+        assert np.array_equal(back.prices, trace.prices)
+
+
+class TestJson:
+    def test_roundtrip(self, tmp_path):
+        history = build_history(48.0, seed=3)
+        path = tmp_path / "hist.json"
+        save_history(history, path)
+        back = load_history(path)
+        assert len(back) == len(history)
+        for key, trace in history.items():
+            assert back.get(key) == trace
+
+    def test_rejects_wrong_format(self):
+        with pytest.raises(TraceError):
+            history_from_json(json.dumps({"format": "something-else"}))
+
+    def test_rejects_invalid_json(self):
+        with pytest.raises(TraceError):
+            history_from_json("{nope")
+
+    def test_empty_history_roundtrips(self):
+        back = history_from_json(history_to_json(SpotPriceHistory()))
+        assert len(back) == 0
+
+
+class TestAws:
+    def aws_doc(self):
+        return {
+            "SpotPriceHistory": [
+                {
+                    "Timestamp": "2014-08-01T00:00:00Z",
+                    "SpotPrice": "0.0091",
+                    "InstanceType": "m1.medium",
+                    "AvailabilityZone": "us-east-1a",
+                },
+                {
+                    "Timestamp": "2014-08-01T02:30:00Z",
+                    "SpotPrice": "1.5000",
+                    "InstanceType": "m1.medium",
+                    "AvailabilityZone": "us-east-1a",
+                },
+                {
+                    "Timestamp": "2014-08-01T01:00:00+00:00",
+                    "SpotPrice": "0.2710",
+                    "InstanceType": "cc2.8xlarge",
+                    "AvailabilityZone": "us-east-1b",
+                },
+            ]
+        }
+
+    def test_parses_markets_and_rebases_time(self):
+        history = history_from_aws(self.aws_doc())
+        medium = history.get(MarketKey("m1.medium", "us-east-1a"))
+        assert medium.start_time == 0.0
+        assert medium.price_at(0.0) == pytest.approx(0.0091)
+        assert medium.price_at(2.5) == pytest.approx(1.5)
+        cc2 = history.get(MarketKey("cc2.8xlarge", "us-east-1b"))
+        assert cc2.start_time == pytest.approx(1.0)
+
+    def test_accepts_json_string(self):
+        history = history_from_aws(json.dumps(self.aws_doc()))
+        assert len(history) == 2
+
+    def test_rejects_empty(self):
+        with pytest.raises(TraceError):
+            history_from_aws({"SpotPriceHistory": []})
+
+    def test_rejects_malformed_record(self):
+        with pytest.raises(TraceError):
+            history_from_aws({"SpotPriceHistory": [{"Timestamp": "garbage"}]})
+
+    def test_same_instant_update_keeps_latest(self):
+        doc = {
+            "SpotPriceHistory": [
+                {
+                    "Timestamp": "2014-08-01T00:00:00Z",
+                    "SpotPrice": "0.1",
+                    "InstanceType": "m1.small",
+                    "AvailabilityZone": "us-east-1a",
+                },
+                {
+                    "Timestamp": "2014-08-01T00:00:00Z",
+                    "SpotPrice": "0.2",
+                    "InstanceType": "m1.small",
+                    "AvailabilityZone": "us-east-1a",
+                },
+            ]
+        }
+        history = history_from_aws(doc)
+        trace = history.get(MarketKey("m1.small", "us-east-1a"))
+        assert trace.price_at(0.0) == 0.2
+
+    def test_roundtrip_through_failure_model(self):
+        """Real-format data flows into the optimizer machinery."""
+        from repro.market.failure import FailureModel
+
+        history = history_from_aws(self.aws_doc(), window_end_hours_after_last=24.0)
+        fm = FailureModel(history.get(MarketKey("m1.medium", "us-east-1a")))
+        assert fm.max_price() == pytest.approx(1.5)

@@ -1,0 +1,144 @@
+"""SpotPriceTrace tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.market.trace import SpotPriceTrace
+
+
+class TestConstruction:
+    def test_rejects_unsorted_times(self):
+        with pytest.raises(TraceError):
+            SpotPriceTrace([0.0, 2.0, 1.0], [1, 1, 1], 3.0)
+
+    def test_rejects_duplicate_times(self):
+        with pytest.raises(TraceError):
+            SpotPriceTrace([0.0, 1.0, 1.0], [1, 1, 1], 3.0)
+
+    def test_rejects_negative_prices(self):
+        with pytest.raises(TraceError):
+            SpotPriceTrace([0.0], [-0.1], 1.0)
+
+    def test_rejects_end_before_last_segment(self):
+        with pytest.raises(TraceError):
+            SpotPriceTrace([0.0, 5.0], [1, 2], 5.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(TraceError):
+            SpotPriceTrace([], [], 1.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(TraceError):
+            SpotPriceTrace([0.0], [np.nan], 1.0)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(TraceError):
+            SpotPriceTrace([0.0, 1.0], [1.0], 2.0)
+
+
+class TestAccessors:
+    def test_price_at_segment_boundaries(self, step_trace):
+        assert step_trace.price_at(0.0) == 0.10
+        assert step_trace.price_at(4.999) == 0.10
+        assert step_trace.price_at(5.0) == 0.50
+        assert step_trace.price_at(19.999) == 0.05
+        assert step_trace.price_at(20.0) == 2.0
+
+    def test_price_at_out_of_window(self, step_trace):
+        with pytest.raises(TraceError):
+            step_trace.price_at(24.0)
+        with pytest.raises(TraceError):
+            step_trace.price_at(-0.1)
+
+    def test_prices_at_vectorised(self, step_trace):
+        out = step_trace.prices_at(np.array([0.0, 6.0, 10.0, 21.0]))
+        assert np.allclose(out, [0.10, 0.50, 0.05, 2.0])
+
+    def test_segment_durations(self, step_trace):
+        assert np.allclose(step_trace.segment_durations(), [5, 3, 12, 4])
+
+    def test_segments_iteration(self, step_trace):
+        segs = list(step_trace.segments())
+        assert segs[0] == (0.0, 5.0, 0.10)
+        assert segs[-1] == (20.0, 24.0, 2.0)
+
+    def test_duration(self, step_trace):
+        assert step_trace.duration == 24.0
+
+
+class TestResample:
+    def test_hourly_grid(self, step_trace):
+        grid = step_trace.resample(1.0)
+        assert grid.shape == (24,)
+        assert grid[0] == 0.10 and grid[5] == 0.50 and grid[8] == 0.05
+        assert grid[23] == 2.0
+
+    def test_bad_step(self, step_trace):
+        with pytest.raises(TraceError):
+            step_trace.resample(0.0)
+
+    def test_step_longer_than_window(self, step_trace):
+        with pytest.raises(TraceError):
+            step_trace.resample(100.0)
+
+
+class TestTransforms:
+    def test_slice_preserves_prices(self, step_trace):
+        window = step_trace.slice(6.0, 22.0)
+        assert window.price_at(6.0) == 0.50
+        assert window.price_at(21.0) == 2.0
+        assert window.start_time == 6.0 and window.end_time == 22.0
+
+    def test_slice_out_of_bounds(self, step_trace):
+        with pytest.raises(TraceError):
+            step_trace.slice(-1.0, 5.0)
+        with pytest.raises(TraceError):
+            step_trace.slice(5.0, 25.0)
+
+    def test_shift(self, step_trace):
+        moved = step_trace.shift(100.0)
+        assert moved.start_time == 100.0
+        assert moved.price_at(105.0) == 0.50
+
+    def test_concat(self, step_trace, flat_trace):
+        joined = step_trace.concat(flat_trace)
+        assert joined.duration == pytest.approx(24.0 + 240.0)
+        assert joined.price_at(23.0) == 2.0
+        assert joined.price_at(25.0) == 0.10
+
+    def test_slice_then_statistics(self, step_trace):
+        w = step_trace.slice(8.0, 20.0)
+        assert w.mean_price() == pytest.approx(0.05)
+
+
+class TestStatistics:
+    def test_max_min(self, step_trace):
+        assert step_trace.max_price() == 2.0
+        assert step_trace.min_price() == 0.05
+
+    def test_time_weighted_mean(self, step_trace):
+        expected = (5 * 0.10 + 3 * 0.50 + 12 * 0.05 + 4 * 2.0) / 24
+        assert step_trace.mean_price() == pytest.approx(expected)
+
+    def test_fraction_below(self, step_trace):
+        # price <= 0.10 holds on [0,5) and [8,20): 17 of 24 hours
+        assert step_trace.fraction_below(0.10) == pytest.approx(17 / 24)
+        assert step_trace.fraction_below(10.0) == 1.0
+        assert step_trace.fraction_below(0.01) == 0.0
+
+    def test_quantile_monotone(self, step_trace):
+        qs = [step_trace.quantile(q) for q in (0.1, 0.5, 0.9, 1.0)]
+        assert qs == sorted(qs)
+        assert step_trace.quantile(1.0) == 2.0
+
+    def test_quantile_bounds(self, step_trace):
+        with pytest.raises(TraceError):
+            step_trace.quantile(1.5)
+
+    def test_equality(self, step_trace):
+        same = SpotPriceTrace(
+            step_trace.times.copy(), step_trace.prices.copy(), step_trace.end_time
+        )
+        assert step_trace == same
+        assert step_trace != step_trace.shift(1.0)

@@ -1,0 +1,110 @@
+"""Network model and collective cost tests."""
+
+import pytest
+
+from repro.cloud.instance_types import get_instance_type
+from repro.errors import ConfigurationError
+from repro.mpi.collectives import COLLECTIVE_ALGORITHMS, collective_time
+from repro.mpi.network import ClusterShape, NetworkModel
+
+
+class TestClusterShape:
+    def test_instances_and_placement(self):
+        shape = ClusterShape(get_instance_type("cc2.8xlarge"), 128)
+        assert shape.n_instances == 4
+        assert shape.procs_per_instance == 32
+        assert shape.node_of(0) == 0
+        assert shape.node_of(31) == 0
+        assert shape.node_of(32) == 1
+
+    def test_inter_node_fraction(self):
+        cc2 = ClusterShape(get_instance_type("cc2.8xlarge"), 128)
+        small = ClusterShape(get_instance_type("m1.small"), 128)
+        assert cc2.inter_node_fraction == pytest.approx(1 - 31 / 127)
+        assert small.inter_node_fraction == 1.0
+
+    def test_single_process(self):
+        shape = ClusterShape(get_instance_type("m1.small"), 1)
+        assert shape.inter_node_fraction == 0.0
+
+    def test_aggregate_disk_scales_with_instances(self):
+        small = ClusterShape(get_instance_type("m1.small"), 128)
+        cc2 = ClusterShape(get_instance_type("cc2.8xlarge"), 128)
+        # The BTIO story: 128 small disks beat 4 big ones.
+        assert small.aggregate_disk_bps > 5 * cc2.aggregate_disk_bps
+
+    def test_rank_bounds(self):
+        shape = ClusterShape(get_instance_type("m1.small"), 4)
+        with pytest.raises(ConfigurationError):
+            shape.node_of(4)
+
+
+class TestNetworkModel:
+    def test_intra_faster_than_inter(self):
+        net = NetworkModel(ClusterShape(get_instance_type("cc2.8xlarge"), 64))
+        intra = net.p2p_seconds(0, 1, 1_000_000)
+        inter = net.p2p_seconds(0, 33, 1_000_000)
+        assert intra < inter
+
+    def test_self_message_free(self):
+        net = NetworkModel(ClusterShape(get_instance_type("m1.small"), 4))
+        assert net.p2p_seconds(2, 2, 1e9) == 0.0
+
+    def test_oversubscription_kicks_in_for_large_fleets(self):
+        small_fleet = NetworkModel(ClusterShape(get_instance_type("cc2.8xlarge"), 128))
+        big_fleet = NetworkModel(ClusterShape(get_instance_type("m1.small"), 128))
+        assert small_fleet.oversubscription == 1.0  # 4 instances
+        assert big_fleet.oversubscription == 4.0  # 128 instances
+
+    def test_cc2_effective_beta_beats_m1small(self):
+        # 10 GbE + 24/32 local neighbours vs oversubscribed 125 Mbps
+        cc2 = NetworkModel(ClusterShape(get_instance_type("cc2.8xlarge"), 128))
+        small = NetworkModel(ClusterShape(get_instance_type("m1.small"), 128))
+        assert cc2.effective_beta() < small.effective_beta()
+
+    def test_negative_bytes_rejected(self):
+        net = NetworkModel(ClusterShape(get_instance_type("m1.small"), 4))
+        with pytest.raises(ConfigurationError):
+            net.p2p_seconds(0, 1, -1.0)
+
+
+class TestCollectives:
+    A, B = 1e-4, 1e-8
+
+    def test_single_process_collectives_free(self):
+        for name in COLLECTIVE_ALGORITHMS:
+            assert collective_time(name, 1, 1e6, self.A, self.B) == 0.0
+
+    def test_barrier_latency_only(self):
+        t8 = collective_time("barrier", 8, 0.0, self.A, self.B)
+        assert t8 == pytest.approx(3 * self.A)
+
+    def test_bcast_log_scaling(self):
+        t2 = collective_time("bcast", 2, 1e6, self.A, self.B)
+        t16 = collective_time("bcast", 16, 1e6, self.A, self.B)
+        assert t16 == pytest.approx(4 * t2)
+
+    def test_allreduce_bandwidth_term(self):
+        # For large messages the 2*n*beta*(p-1)/p term dominates.
+        t = collective_time("allreduce", 128, 1e9, 0.0, self.B)
+        assert t == pytest.approx(2 * 1e9 * self.B * 127 / 128)
+
+    def test_alltoall_equals_allgather_cost(self):
+        ta = collective_time("alltoall", 16, 1e6, self.A, self.B)
+        tg = collective_time("allgather", 16, 1e6, self.A, self.B)
+        assert ta == tg
+
+    def test_alltoall_latency_grows_linearly(self):
+        t8 = collective_time("alltoall", 8, 0.0, self.A, self.B)
+        t64 = collective_time("alltoall", 64, 0.0, self.A, self.B)
+        assert t64 / t8 == pytest.approx(63 / 7)
+
+    def test_unknown_collective(self):
+        with pytest.raises(ConfigurationError):
+            collective_time("allswap", 4, 1.0, self.A, self.B)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            collective_time("bcast", 0, 1.0, self.A, self.B)
+        with pytest.raises(ConfigurationError):
+            collective_time("bcast", 4, -1.0, self.A, self.B)

@@ -1,0 +1,127 @@
+"""Application profile and timing estimator tests."""
+
+import pytest
+
+from repro.cloud.instance_types import get_instance_type
+from repro.cloud.s3 import S3Store
+from repro.errors import ConfigurationError
+from repro.mpi.profile import ApplicationProfile, CollectiveCounts
+from repro.mpi.timing import (
+    estimate_checkpoint,
+    estimate_execution_hours,
+)
+
+
+def profile(**kw):
+    base = dict(name="p", n_processes=8, instr_giga=100.0)
+    base.update(kw)
+    return ApplicationProfile(**base)
+
+
+class TestProfile:
+    def test_scaled_multiplies_counters(self):
+        p = profile(
+            p2p_bytes=10.0,
+            p2p_messages=2.0,
+            collectives={"allreduce": CollectiveCounts(8.0, 1.0)},
+            io_seq_bytes=5.0,
+        )
+        s = p.scaled(3.0)
+        assert s.instr_giga == 300.0
+        assert s.p2p_bytes == 30.0
+        assert s.collectives["allreduce"].count == 3.0
+        assert s.io_seq_bytes == 15.0
+        # resident set does not grow with repeats
+        assert s.memory_gb_per_process == p.memory_gb_per_process
+
+    def test_merged_adds_counters(self):
+        a = profile(collectives={"alltoall": CollectiveCounts(4.0, 1.0)})
+        b = profile(collectives={"alltoall": CollectiveCounts(6.0, 2.0)})
+        m = a.merged(b)
+        assert m.instr_giga == 200.0
+        assert m.collectives["alltoall"].total_bytes == 10.0
+        assert m.collectives["alltoall"].count == 3.0
+
+    def test_merged_rejects_different_n(self):
+        with pytest.raises(ConfigurationError):
+            profile().merged(profile(n_processes=16))
+
+    def test_checkpoint_bytes(self):
+        p = profile(memory_gb_per_process=0.5)
+        assert p.checkpoint_bytes == pytest.approx(0.5 * 8 * 1024**3)
+
+    def test_total_comm_bytes(self):
+        p = profile(
+            p2p_bytes=100.0, collectives={"bcast": CollectiveCounts(10.0, 1.0)}
+        )
+        assert p.total_comm_bytes == pytest.approx(100.0 + 10.0 * 8)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            profile(instr_giga=-1.0)
+        with pytest.raises(ConfigurationError):
+            profile(n_processes=0)
+
+
+class TestEstimator:
+    def test_cpu_only_scaling(self):
+        p = profile(instr_giga=3600.0 * 8, n_processes=8)
+        small = estimate_execution_hours(p, get_instance_type("m1.small"))
+        medium = estimate_execution_hours(p, get_instance_type("m1.medium"))
+        # m1.medium cores are 2.2x faster
+        assert small / medium == pytest.approx(2.2, rel=1e-6)
+
+    def test_io_bound_favours_many_instances(self):
+        p = profile(n_processes=128, instr_giga=1.0, io_seq_bytes=1e13)
+        small = estimate_execution_hours(p, get_instance_type("m1.small"))
+        cc2 = estimate_execution_hours(p, get_instance_type("cc2.8xlarge"))
+        assert small < cc2
+
+    def test_comm_bound_favours_cc2(self):
+        p = profile(
+            n_processes=128,
+            instr_giga=1.0,
+            collectives={"alltoall": CollectiveCounts(4e9, 1000.0)},
+        )
+        small = estimate_execution_hours(p, get_instance_type("m1.small"))
+        cc2 = estimate_execution_hours(p, get_instance_type("cc2.8xlarge"))
+        assert cc2 < small
+
+    def test_random_io_penalised(self):
+        seq = profile(io_seq_bytes=1e12, instr_giga=1.0)
+        rnd = profile(io_rnd_bytes=1e12, instr_giga=1.0)
+        it = get_instance_type("m1.small")
+        assert estimate_execution_hours(rnd, it) > estimate_execution_hours(seq, it)
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            estimate_execution_hours(profile(instr_giga=0.0), get_instance_type("m1.small"))
+
+
+class TestCheckpointEstimate:
+    def test_fewer_instances_upload_slower(self):
+        p = profile(n_processes=128, memory_gb_per_process=0.35)
+        small = estimate_checkpoint(p, get_instance_type("m1.small"))
+        cc2 = estimate_checkpoint(p, get_instance_type("cc2.8xlarge"))
+        assert cc2.checkpoint_hours > small.checkpoint_hours
+        assert small.image_bytes == cc2.image_bytes
+
+    def test_recovery_costs_more_than_checkpoint(self):
+        p = profile(n_processes=64, memory_gb_per_process=0.3)
+        cp = estimate_checkpoint(p, get_instance_type("c3.xlarge"))
+        assert cp.recovery_hours > cp.checkpoint_hours
+
+    def test_custom_storage_bandwidth(self):
+        p = profile(n_processes=128, memory_gb_per_process=0.35)
+        fast = estimate_checkpoint(
+            p, get_instance_type("m1.small"), S3Store(bandwidth_mbps=500.0)
+        )
+        slow = estimate_checkpoint(
+            p, get_instance_type("m1.small"), S3Store(bandwidth_mbps=1.0)
+        )
+        assert fast.checkpoint_hours < slow.checkpoint_hours
+
+    def test_coordination_floor(self):
+        p = profile(n_processes=4, memory_gb_per_process=1e-9)
+        cp = estimate_checkpoint(p, get_instance_type("c3.xlarge"))
+        assert cp.checkpoint_hours >= 45.0 / 3600.0 * 0.99

@@ -1,0 +1,110 @@
+"""Calibration invariants the reproduction depends on.
+
+These pin the *documented* relationships between catalog, presets and
+workload models (DESIGN.md §1, presets docstrings).  If a future
+recalibration breaks one of them, the corresponding paper observation
+(named in each test) silently stops reproducing — these tests make that
+loud instead.
+"""
+
+import pytest
+
+from repro.apps import make_app
+from repro.cloud.instance_types import PAPER_TYPES, get_instance_type
+from repro.market.presets import market_params
+from repro.mpi.timing import estimate_execution_hours
+
+
+def spot_base(tname: str) -> float:
+    return market_params(tname, "us-east-1c").base_price
+
+
+class TestSpotPriceCalibration:
+    def test_per_compute_unit_spot_ordering(self):
+        """Figure 7a's staircase: the optimizer walks cc2.8xlarge ->
+        m1.medium -> m1.small as the deadline loosens, which requires
+        the per-compute-unit spot cost to order small < medium < cc2."""
+
+        def per_unit(tname):
+            it = get_instance_type(tname)
+            return spot_base(tname) / it.total_speed
+
+        assert per_unit("m1.small") < per_unit("m1.medium")
+        assert per_unit("m1.medium") < per_unit("c3.xlarge")
+        assert per_unit("c3.xlarge") < per_unit("cc2.8xlarge")
+
+    def test_spot_fraction_of_ondemand_in_2014_range(self):
+        for tname in PAPER_TYPES:
+            frac = spot_base(tname) / get_instance_type(tname).ondemand_price
+            assert 0.05 < frac < 0.5  # Section 2.1: spot is much cheaper
+
+    def test_zone_personalities(self):
+        """Figure 1's spatial variation: 1a spikier than 1b."""
+        a = market_params("m1.medium", "us-east-1a")
+        b = market_params("m1.medium", "us-east-1b")
+        assert a.spike_rate > 5 * b.spike_rate
+        assert a.diurnal_amplitude > b.diurnal_amplitude
+
+    def test_same_base_price_across_zones(self):
+        """Zones differ in dynamics, not in the calm price level."""
+        for tname in PAPER_TYPES:
+            bases = {
+                market_params(tname, z).base_price
+                for z in ("us-east-1a", "us-east-1b", "us-east-1c")
+            }
+            assert len(bases) == 1
+
+
+class TestWorkloadCalibration:
+    def test_baseline_types_per_app_class(self):
+        """Section 5.3.1's per-class winners (fastest on-demand type)."""
+
+        def fastest(name):
+            app = make_app(name)
+            return min(
+                PAPER_TYPES,
+                key=lambda t: estimate_execution_hours(
+                    app.profile(), get_instance_type(t)
+                ),
+            )
+
+        # compute kernels: a powerful type wins
+        for name in ("BT", "SP"):
+            assert fastest(name) in ("cc2.8xlarge", "c3.xlarge")
+        # communication kernels: cc2.8xlarge (10 GbE + shared memory)
+        for name in ("FT", "IS"):
+            assert fastest(name) == "cc2.8xlarge"
+        # IO kernel: anything but cc2.8xlarge (aggregate disk bandwidth)
+        assert fastest("BTIO") != "cc2.8xlarge"
+
+    def test_loose_deadline_admits_m1_medium_for_compute(self):
+        """Marathe-Opt's loose-deadline advantage requires m1.medium to
+        fit within 1.5x Baseline Time for compute kernels."""
+        for name in ("BT", "SP", "LU"):
+            app = make_app(name)
+            times = {
+                t: estimate_execution_hours(app.profile(), get_instance_type(t))
+                for t in PAPER_TYPES
+            }
+            assert times["m1.medium"] <= 1.5 * min(times.values())
+
+    def test_workloads_are_hours_scale(self):
+        """The optimizer's 1-hour failure grid needs hours-scale jobs."""
+        for name in ("BT", "SP", "LU", "FT", "IS", "BTIO"):
+            app = make_app(name)
+            fastest = min(
+                estimate_execution_hours(app.profile(), get_instance_type(t))
+                for t in PAPER_TYPES
+            )
+            assert 3.0 < fastest < 60.0
+
+    def test_checkpoint_overhead_well_below_interval_scale(self):
+        """Young's interval ~ sqrt(2*O*MTTF) needs O << job length."""
+        from repro.mpi.timing import estimate_checkpoint
+
+        for name in ("BT", "FT"):
+            profile = make_app(name).profile()
+            for tname in PAPER_TYPES:
+                ckpt = estimate_checkpoint(profile, get_instance_type(tname))
+                T = estimate_execution_hours(profile, get_instance_type(tname))
+                assert ckpt.checkpoint_hours < 0.05 * T

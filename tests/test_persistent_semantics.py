@@ -1,0 +1,121 @@
+"""Persistent spot-request semantics tests."""
+
+import pytest
+
+from repro.cloud.instance_types import get_instance_type
+from repro.core.problem import Decision, GroupDecision, OnDemandOption, Problem
+from repro.errors import ConfigurationError
+from repro.execution.replay import replay_decision
+from repro.market.history import SpotPriceHistory
+from repro.market.trace import SpotPriceTrace
+from tests.conftest import make_group
+
+
+def setup(trace, exec_time=6.0, overhead=0.5, recovery=0.5, deadline=40.0):
+    g = make_group(
+        exec_time=exec_time, overhead=overhead, recovery=recovery, n_instances=2
+    )
+    od = OnDemandOption(get_instance_type("c3.xlarge"), 8, 5.0)
+    problem = Problem(groups=(g,), ondemand_options=(od,), deadline=deadline)
+    h = SpotPriceHistory()
+    h.add(g.key, trace)
+    return problem, h
+
+
+class TestPersistent:
+    def test_unknown_semantics_rejected(self, flat_trace):
+        problem, h = setup(flat_trace)
+        d = Decision(groups=(GroupDecision(0, 0.2, 2.0),), ondemand_index=0)
+        with pytest.raises(ConfigurationError):
+            replay_decision(problem, d, h, 0.0, semantics="eventual")
+
+    def test_failure_free_matches_single_shot(self, flat_trace):
+        problem, h = setup(flat_trace)
+        d = Decision(groups=(GroupDecision(0, 0.2, 2.0),), ondemand_index=0)
+        a = replay_decision(problem, d, h, 0.0, semantics="single-shot")
+        b = replay_decision(problem, d, h, 0.0, semantics="persistent")
+        assert a.cost == pytest.approx(b.cost)
+        assert a.makespan == pytest.approx(b.makespan)
+
+    def test_relaunch_resumes_from_checkpoint(self):
+        # cheap [0,3), expensive [3,5), cheap [5,...): one interruption.
+        trace = SpotPriceTrace([0.0, 3.0, 5.0], [0.05, 0.9, 0.05], 400.0)
+        problem, h = setup(trace)
+        d = Decision(groups=(GroupDecision(0, 0.10, 2.0),), ondemand_index=0)
+        result = replay_decision(problem, d, h, 0.0, semantics="persistent")
+        # First attempt: dies at 3.0 with ckpt at 2 (saved 2h).
+        # Relaunch at 5.0: recovery 0.5, remaining 4h with ckpt at 2,
+        # wall = 0.5 + 4 + 0.5(1 ckpt) = 5.0 -> completes at 10.0.
+        assert result.completed_by == "m1.small@us-east-1a"
+        assert result.makespan == pytest.approx(10.0)
+        rec = result.group_records[0]
+        assert rec.completed
+        # paid 3h + 5h of cheap price on 2 instances
+        assert result.cost == pytest.approx(0.05 * 8.0 * 2)
+
+    def test_restart_from_scratch_without_checkpoint(self):
+        # dies at 1.0 before any checkpoint; relaunches at 2.0 from zero.
+        trace = SpotPriceTrace([0.0, 1.0, 2.0], [0.05, 0.9, 0.05], 400.0)
+        problem, h = setup(trace)
+        d = Decision(groups=(GroupDecision(0, 0.10, 6.0),), ondemand_index=0)
+        result = replay_decision(problem, d, h, 0.0, semantics="persistent")
+        # no recovery overhead (nothing saved): completes at 2 + 6 = 8
+        assert result.makespan == pytest.approx(8.0)
+
+    def test_repeated_interruptions_all_paid(self):
+        # alternating 2h cheap / 1h expensive; F=1.5 checkpoints save 1.5h
+        times, prices = [], []
+        for k in range(40):
+            times += [3.0 * k, 3.0 * k + 2.0]
+            prices += [0.05, 0.9]
+        trace = SpotPriceTrace(times, prices, 130.0)
+        problem, h = setup(trace, exec_time=6.0, overhead=0.25, recovery=0.25)
+        d = Decision(groups=(GroupDecision(0, 0.10, 1.5),), ondemand_index=0)
+        result = replay_decision(problem, d, h, 0.0, semantics="persistent")
+        assert result.completed_by == "m1.small@us-east-1a"
+        rec = result.group_records[0]
+        assert rec.n_checkpoints >= 2
+        assert result.makespan > 6.0  # interruptions cost wall time
+
+    def test_persistent_never_reaches_ondemand_if_price_returns(self):
+        trace = SpotPriceTrace([0.0, 3.0, 5.0], [0.05, 0.9, 0.05], 400.0)
+        problem, h = setup(trace)
+        d = Decision(groups=(GroupDecision(0, 0.10, 2.0),), ondemand_index=0)
+        single = replay_decision(problem, d, h, 0.0, semantics="single-shot")
+        persistent = replay_decision(problem, d, h, 0.0, semantics="persistent")
+        assert single.completed_by == "ondemand"
+        assert persistent.completed_by != "ondemand"
+        # cheaper in dollars, slower in wall time
+        assert persistent.cost < single.cost
+        assert persistent.makespan > single.makespan - 1e-9
+
+    def test_dies_during_recovery_overhead(self):
+        # relaunch window [5, 5.3) shorter than the 0.5h recovery
+        trace = SpotPriceTrace(
+            [0.0, 3.0, 5.0, 5.3, 8.0], [0.05, 0.9, 0.05, 0.9, 0.05], 400.0
+        )
+        problem, h = setup(trace)
+        d = Decision(groups=(GroupDecision(0, 0.10, 2.0),), ondemand_index=0)
+        result = replay_decision(problem, d, h, 0.0, semantics="persistent")
+        # second attempt makes no progress, third finishes
+        assert result.completed_by == "m1.small@us-east-1a"
+        # saved stays at 2h through the aborted recovery
+        assert result.makespan == pytest.approx(8.0 + 0.5 + 4.0 + 0.5)
+
+    def test_never_launchable_falls_back(self):
+        trace = SpotPriceTrace([0.0], [0.9], 400.0)
+        problem, h = setup(trace)
+        d = Decision(groups=(GroupDecision(0, 0.10, 2.0),), ondemand_index=0)
+        result = replay_decision(problem, d, h, 0.0, semantics="persistent")
+        assert result.completed_by == "ondemand"
+        assert result.ondemand_hours == pytest.approx(5.0)
+
+
+class TestEnvIntegration:
+    def test_mc_accepts_semantics(self, small_env):
+        problem = small_env.problem("BT", 1.5)
+        plan = small_env.sompi_plan(problem)
+        mc = small_env.mc(
+            problem, plan.decision, 40, "sem-test", semantics="persistent"
+        )
+        assert mc.mean_cost > 0

@@ -1,0 +1,66 @@
+"""Plan JSON export and adaptive-executor semantics tests."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigurationError
+from repro.execution.adaptive import AdaptiveExecutor
+
+
+class TestPlanToDict:
+    def test_roundtrips_through_json(self, small_env):
+        problem = small_env.problem("BT", 1.5)
+        plan = small_env.sompi_plan(problem)
+        doc = json.loads(json.dumps(plan.to_dict()))
+        assert doc["expected_cost"] == pytest.approx(plan.expectation.cost)
+        assert doc["deadline_hours"] == pytest.approx(problem.deadline)
+        assert len(doc["groups"]) == len(plan.decision.groups)
+        for g in doc["groups"]:
+            assert "@us-east-" in g["market"]
+            assert g["bid_per_hour"] > 0
+        assert doc["fallback"]["instances"] >= 1
+
+    def test_cli_plan_json(self, capsys):
+        code = main(
+            ["plan", "--app", "FT", "--kappa", "2", "--json"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["used_spot"] in (True, False)
+        assert doc["expected_time_hours"] <= doc["deadline_hours"] + 1e-9
+
+    def test_cli_plan_json_extra_kernel(self, capsys):
+        code = main(["plan", "--app", "CG", "--kappa", "2", "--json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["expected_cost"] > 0
+
+
+class TestAdaptiveSemantics:
+    def test_persistent_adaptive_completes(self, small_env):
+        problem = small_env.problem("BT", 1.5)
+        ex = AdaptiveExecutor(
+            problem, small_env.history, small_env.config, semantics="persistent"
+        )
+        res = ex.run(small_env.train_end + 10.0)
+        assert res.completed
+
+    def test_unknown_semantics_rejected(self, small_env):
+        problem = small_env.problem("BT", 1.5)
+        with pytest.raises(ConfigurationError):
+            AdaptiveExecutor(
+                problem, small_env.history, small_env.config, semantics="spotty"
+            )
+
+    def test_persistent_never_loses_window_progress(self, small_env):
+        """Within each window, fractions only move forward."""
+        problem = small_env.problem("BT", 2.0)
+        ex = AdaptiveExecutor(
+            problem, small_env.history, small_env.config, semantics="persistent"
+        )
+        res = ex.run(small_env.train_end + 10.0)
+        for w in res.windows:
+            assert w.fraction_after >= w.fraction_before - 1e-12

@@ -1,0 +1,95 @@
+"""Checkpoint-storage accounting tests (the paper's <0.1% claim)."""
+
+import pytest
+
+from repro.cloud.instance_types import get_instance_type
+from repro.core.problem import Decision, GroupDecision, OnDemandOption, Problem
+from repro.execution.replay import checkpoint_storage_cost, replay_decision
+from repro.market.history import SpotPriceHistory
+from repro.market.trace import SpotPriceTrace
+from repro.units import BYTES_PER_GB
+from tests.conftest import make_group
+
+
+def setup(image_gb=45.0):
+    g = make_group(exec_time=6.0, overhead=0.5, recovery=0.5, n_instances=2)
+    g = type(g)(
+        key=g.key,
+        itype=g.itype,
+        n_instances=g.n_instances,
+        exec_time=g.exec_time,
+        checkpoint_overhead=g.checkpoint_overhead,
+        recovery_overhead=g.recovery_overhead,
+        image_bytes=image_gb * BYTES_PER_GB,
+    )
+    od = OnDemandOption(get_instance_type("c3.xlarge"), 8, 5.0)
+    problem = Problem(groups=(g,), ondemand_options=(od,), deadline=30.0)
+    h = SpotPriceHistory()
+    h.add(g.key, SpotPriceTrace([0.0], [0.05], 400.0))
+    return problem, h
+
+
+class TestAccounting:
+    def test_disabled_by_default(self):
+        problem, h = setup()
+        d = Decision(groups=(GroupDecision(0, 0.1, 2.0),), ondemand_index=0)
+        result = replay_decision(problem, d, h, 0.0)
+        assert result.ledger.total("storage") == 0.0
+
+    def test_enabled_adds_ledger_line(self):
+        problem, h = setup()
+        d = Decision(groups=(GroupDecision(0, 0.1, 2.0),), ondemand_index=0)
+        result = replay_decision(problem, d, h, 0.0, account_storage=True)
+        storage = result.ledger.total("storage")
+        assert storage > 0.0
+        baseline = replay_decision(problem, d, h, 0.0)
+        assert result.cost == pytest.approx(baseline.cost + storage)
+
+    def test_hand_computed_gb_hours(self):
+        problem, h = setup(image_gb=73.0)
+        d = Decision(groups=(GroupDecision(0, 0.1, 2.0),), ondemand_index=0)
+        result = replay_decision(problem, d, h, 0.0, account_storage=True)
+        # F=2, O=0.5: checkpoints at wall 2.5 and 5.0; run ends at 7.0.
+        # image 1 lives [2.5, 5.0), image 2 lives [5.0, 7.0).
+        gb_hours = 73.0 * (2.5 + 2.0)
+        expected = gb_hours * 0.03 / 730.0
+        assert result.ledger.total("storage") == pytest.approx(expected)
+
+    def test_zero_image_bytes_skipped(self):
+        problem, h = setup(image_gb=0.0)
+        d = Decision(groups=(GroupDecision(0, 0.1, 2.0),), ondemand_index=0)
+        result = replay_decision(problem, d, h, 0.0, account_storage=True)
+        assert result.ledger.total("storage") == 0.0
+
+    def test_no_checkpoints_no_storage(self):
+        problem, h = setup()
+        d = Decision(groups=(GroupDecision(0, 0.1, 6.0),), ondemand_index=0)
+        result = replay_decision(problem, d, h, 0.0, account_storage=True)
+        assert result.ledger.total("storage") == 0.0
+
+    def test_helper_direct(self):
+        problem, h = setup()
+        d = Decision(groups=(GroupDecision(0, 0.1, 2.0),), ondemand_index=0)
+        result = replay_decision(problem, d, h, 0.0)
+        cost = checkpoint_storage_cost(
+            problem, d, result.group_records, run_end=result.makespan
+        )
+        assert cost > 0
+
+
+class TestPaperClaim:
+    def test_storage_below_tenth_percent_of_bill(self, paper_env):
+        """End to end: storage cost < 0.1% of the baseline bill (paper)."""
+        problem = paper_env.problem("BT", 1.5)
+        plan = paper_env.sompi_plan(problem)
+        if not plan.decision.groups:
+            pytest.skip("plan used no spot groups")
+        result = replay_decision(
+            problem,
+            plan.decision,
+            paper_env.history,
+            paper_env.train_end + 5.0,
+            account_storage=True,
+        )
+        baseline = paper_env.baseline_cost(paper_env.app("BT"))
+        assert result.ledger.total("storage") / baseline < 0.001
