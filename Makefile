@@ -1,0 +1,21 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-full experiments quick
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Perf suite in quick mode; refuses to overwrite BENCH_*.json on a
+## >20% regression of the primary metric (pass FORCE=1 to override).
+bench:
+	$(PYTHON) -m benchmarks.perf --quick $(if $(FORCE),--force,)
+
+bench-full:
+	$(PYTHON) -m benchmarks.perf $(if $(FORCE),--force,)
+
+experiments:
+	$(PYTHON) -m repro.experiments.runner
+
+quick:
+	$(PYTHON) -m repro.experiments.runner --quick

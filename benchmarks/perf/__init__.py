@@ -1,0 +1,19 @@
+"""Tracked performance benchmarks for the plan→evaluate pipeline.
+
+Run with ``make bench`` or ``PYTHONPATH=src python -m benchmarks.perf``.
+
+Two suites, each emitting one JSON file at the repository root so the
+perf trajectory is tracked across PRs:
+
+* :mod:`.planning` → ``BENCH_planning.json`` — failure-model fitting,
+  per-group table construction, the two-level subset search, and one
+  full quick experiment, each timed on the seed (cache-off) path and on
+  the optimized (cached + pruned) path.
+* :mod:`.replay` → ``BENCH_replay.json`` — Monte-Carlo replay
+  throughput (replays/sec), scalar loop vs batched replay.
+
+The writer refuses to overwrite an existing file when a primary metric
+regressed by more than 20% unless ``--force`` is given (see
+``benchmarks.perf.__main__``), so an accidental slowdown fails loudly
+in CI instead of silently rewriting the baseline.
+"""

@@ -1,0 +1,107 @@
+"""Planning-pipeline benchmark: failure models, tables, subset search.
+
+Times the same planning workload twice:
+
+* **seed path** — per-bid failure-model memoisation off, shared group
+  tables off (``table_cache=False``): what the code did before the
+  performance layer.
+* **optimized path** — all caches on, starting cold (shared caches are
+  cleared first), exactly as the experiments run it.
+
+Both paths produce identical plans (asserted here), so the ratio is a
+pure speed measurement.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.optimizer import SompiOptimizer, build_failure_models
+from repro.core.two_level import clear_shared_caches
+from repro.experiments.env import ExperimentEnv
+from repro.experiments import fig5_cost_comparison
+
+#: (app, deadline_factor) pairs exercised by the benchmark.
+_FULL_CASES = [
+    ("BT", 1.5), ("BT", 1.05), ("SP", 1.5), ("SP", 1.05),
+    ("LU", 1.5), ("FT", 1.05), ("IS", 1.5),
+]
+_QUICK_CASES = _FULL_CASES[:3]
+
+
+def _plan_all(env: ExperimentEnv, cases, cached: bool, model_sets=None):
+    """Plan every case; returns (plans, seconds, combos).
+
+    Failure models are shared across plans exactly as
+    :meth:`ExperimentEnv.failure_models` shares them (the seed did that
+    too); ``cached`` switches their per-bid memoisation and the shared
+    group-table cache on or off together.  Pass the same ``model_sets``
+    dict to a second call to time the fully warm regime.
+    """
+    config = env.config.with_(table_cache=cached)
+    problems = [env.problem(app, deadline_factor=f) for app, f in cases]
+    training = env.training_history()
+    if model_sets is None:
+        model_sets = {}
+    t0 = time.perf_counter()
+    plans = []
+    combos = 0
+    for problem in problems:
+        mkey = tuple(g.key for g in problem.groups)
+        models = model_sets.get(mkey)
+        if models is None:
+            models = build_failure_models(
+                problem, training,
+                step_hours=config.time_step_hours, cache=cached,
+            )
+            model_sets[mkey] = models
+        opt = SompiOptimizer(problem, models, config)
+        plan = opt.plan()
+        combos += plan.combos_evaluated
+        plans.append(plan)
+    return plans, time.perf_counter() - t0, combos
+
+
+def run(quick: bool = False) -> dict:
+    cases = _QUICK_CASES if quick else _FULL_CASES
+    env = ExperimentEnv.paper_default()
+
+    clear_shared_caches()
+    seed_plans, seed_s, combos = _plan_all(env, cases, cached=False)
+    clear_shared_caches()
+    shared_models: dict = {}
+    opt_plans, opt_s, _ = _plan_all(env, cases, cached=True, model_sets=shared_models)
+    # Warm pass: the fig5/fig7/param-study regime where later plans reuse
+    # the models and tables the earlier ones built.
+    _, warm_s, _ = _plan_all(env, cases, cached=True, model_sets=shared_models)
+
+    for a, b in zip(seed_plans, opt_plans):
+        assert a.expectation == b.expectation, "cached plan diverged from seed"
+        assert a.decision == b.decision, "cached plan diverged from seed"
+
+    n_samples = 10 if quick else 40
+    t0 = time.perf_counter()
+    fig5_cost_comparison.run(ExperimentEnv.paper_default(), n_samples=n_samples)
+    fig5_s = time.perf_counter() - t0
+
+    return {
+        "suite": "planning",
+        "cases": len(cases),
+        "metrics": {
+            "plan_pipeline": {
+                "seed_s": round(seed_s, 4),
+                "optimized_s": round(opt_s, 4),
+                "warm_s": round(warm_s, 4),
+                "speedup": round(seed_s / opt_s, 2) if opt_s > 0 else None,
+            },
+            "subset_search": {
+                "combos_evaluated": combos,
+                "combos_per_s": round(combos / opt_s, 1) if opt_s > 0 else None,
+            },
+            "experiment_fig5": {
+                "n_samples": n_samples,
+                "optimized_s": round(fig5_s, 4),
+            },
+        },
+        "primary": {"name": "plan_pipeline.optimized_s", "seconds": opt_s},
+    }

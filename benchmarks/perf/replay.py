@@ -1,0 +1,65 @@
+"""Monte-Carlo replay throughput benchmark (replays per second).
+
+Replays the planned decisions of a few (app, deadline) cases from many
+starting points with the scalar per-start loop (the seed path) and with
+the batched replay, asserts the results match bit-for-bit, and reports
+the throughput of both.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.execution.batch_replay import replay_batch
+from repro.execution.montecarlo import sample_start_times
+from repro.execution.replay import replay_decision
+from repro.experiments.env import ExperimentEnv
+
+_CASES = [("BT", 1.5), ("LU", 1.05), ("IS", 1.5)]
+
+
+def run(quick: bool = False) -> dict:
+    n_starts = 200 if quick else 1000
+    env = ExperimentEnv.paper_default()
+    total = 0
+    seq_s = 0.0
+    batch_s = 0.0
+    for app, factor in _CASES:
+        problem = env.problem(app, deadline_factor=factor)
+        decision = env.sompi_plan(problem).decision
+        if not decision.groups:
+            continue
+        starts = sample_start_times(
+            problem, decision, env.history, n_starts,
+            env.rng.fresh(f"bench-replay-{app}-{factor}"), t_min=env.train_end,
+        )
+        t0 = time.perf_counter()
+        seq = [
+            replay_decision(problem, decision, env.history, float(t))
+            for t in starts
+        ]
+        t1 = time.perf_counter()
+        batch = replay_batch(problem, decision, env.history, starts)
+        t2 = time.perf_counter()
+        for a, b in zip(seq, batch):
+            assert (a.cost, a.makespan, a.completed_by) == (
+                b.cost, b.makespan, b.completed_by,
+            ), "batched replay diverged from scalar replay"
+        total += starts.size
+        seq_s += t1 - t0
+        batch_s += t2 - t1
+
+    return {
+        "suite": "replay",
+        "replays": total,
+        "metrics": {
+            "throughput": {
+                "sequential_replays_per_s": round(total / seq_s, 1),
+                "batched_replays_per_s": round(total / batch_s, 1),
+                "seed_s": round(seq_s, 4),
+                "optimized_s": round(batch_s, 4),
+                "speedup": round(seq_s / batch_s, 2) if batch_s > 0 else None,
+            },
+        },
+        "primary": {"name": "throughput.optimized_s", "seconds": batch_s},
+    }

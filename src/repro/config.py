@@ -52,6 +52,12 @@ class SompiConfig:
         must additionally satisfy ``P(Time > Deadline) <= this`` under
         the model's joint outcome distribution (the paper only bounds
         the expectation).  ``None`` disables it.
+    table_cache:
+        Share the per-(market, spec, config) bid/interval/outcome tables
+        and subset score vectors across :class:`TwoLevelOptimizer`
+        instances (see DESIGN.md "Performance").  The caches are exact —
+        keyed by every input that enters the computation — so disabling
+        this only trades speed for memory; results are unchanged.
     """
 
     slack: float = 0.20
@@ -63,6 +69,7 @@ class SompiConfig:
     interval_refine: bool = True
     checkpointing: bool = True
     max_miss_probability: float | None = None
+    table_cache: bool = True
 
     def __post_init__(self) -> None:
         check_fraction("slack", self.slack)

@@ -80,10 +80,17 @@ def build_failure_models(
     problem: Problem,
     history: SpotPriceHistory,
     step_hours: float = 1.0,
+    cache: bool = True,
 ) -> dict[MarketKey, FailureModel]:
-    """One failure model per circle-group market, from the given history."""
+    """One failure model per circle-group market, from the given history.
+
+    ``cache=False`` disables the models' per-bid memoisation (used by the
+    perf benchmarks to time the uncached path; results are identical).
+    """
     return {
-        spec.key: FailureModel(history.get(spec.key), step_hours=step_hours)
+        spec.key: FailureModel(
+            history.get(spec.key), step_hours=step_hours, cache=cache
+        )
         for spec in problem.groups
     }
 
@@ -188,9 +195,14 @@ class SompiOptimizer:
         optimizer = TwoLevelOptimizer(
             self.problem, self.failure_models, ondemand, self.config
         )
-        result = exhaustive_subset_search(
-            optimizer, self.config.kappa, objective="time", budget=budget
-        )
+        if self.config.subset_strategy == "greedy":
+            result = greedy_subset_search(
+                optimizer, self.config.kappa, objective="time", budget=budget
+            )
+        else:
+            result = exhaustive_subset_search(
+                optimizer, self.config.kappa, objective="time", budget=budget
+            )
         ondemand_ok = ondemand.full_run_cost <= budget
         if result is None and not ondemand_ok:
             raise InfeasibleError(

@@ -47,14 +47,27 @@ def exhaustive_subset_search(
     objective: str = "cost",
     budget: Optional[float] = None,
 ) -> Optional[SubsetResult]:
-    """Best result over all subsets (``None`` if every subset is infeasible)."""
+    """Best result over all subsets (``None`` if every subset is infeasible).
+
+    The traversal keeps an incumbent and hands its score to
+    :meth:`TwoLevelOptimizer.optimize_subset` as ``prune_above``: subsets
+    whose admissible lower bound cannot beat the best feasible score seen
+    so far are skipped without evaluating their bid combinations.  The
+    bound is a true lower bound on the exact score, so the winner (and
+    the reported ``combos_evaluated``) is identical with pruning off.
+    """
     best: Optional[SubsetResult] = None
 
     def score(res: SubsetResult) -> float:
         return res.expectation.cost if objective == "cost" else res.expectation.time
 
     for subset in enumerate_subsets(optimizer.problem.n_groups, kappa, exact_size):
-        result = optimizer.optimize_subset(subset, objective=objective, budget=budget)
+        result = optimizer.optimize_subset(
+            subset,
+            objective=objective,
+            budget=budget,
+            prune_above=None if best is None else score(best),
+        )
         if result is None:
             continue
         if best is None or score(result) < score(best):
@@ -63,32 +76,49 @@ def exhaustive_subset_search(
 
 
 def greedy_subset_search(
-    optimizer: TwoLevelOptimizer, kappa: int
+    optimizer: TwoLevelOptimizer,
+    kappa: int,
+    objective: str = "cost",
+    budget: Optional[float] = None,
 ) -> Optional[SubsetResult]:
     """Grow the subset greedily: start from the best single group, then
-    repeatedly add the group that lowers expected cost the most.
+    repeatedly add the group that improves the objective the most.
 
     Evaluates ``O(K * kappa)`` subsets instead of ``O(C(K, kappa))``.
+    Accepts the same ``objective``/``budget`` pair as the exhaustive
+    traversal so budget-constrained planning can use the heuristic too.
     """
     n = optimizer.problem.n_groups
     kappa = min(kappa, n)
     chosen: list[int] = []
     best: Optional[SubsetResult] = None
     remaining = set(range(n))
+
+    def score(res: SubsetResult) -> float:
+        return res.expectation.cost if objective == "cost" else res.expectation.time
+
     for _ in range(kappa):
         round_best: Optional[SubsetResult] = None
         round_pick: Optional[int] = None
         for g in sorted(remaining):
-            result = optimizer.optimize_subset(tuple(chosen + [g]))
+            # Prune against the *round* incumbent only: the stop rule
+            # below compares round_best against the overall best, so
+            # round_best itself must come out exactly as without pruning.
+            result = optimizer.optimize_subset(
+                tuple(chosen + [g]),
+                objective=objective,
+                budget=budget,
+                prune_above=None if round_best is None else score(round_best),
+            )
             if result is None:
                 continue
-            if round_best is None or result.expectation.cost < round_best.expectation.cost:
+            if round_best is None or score(result) < score(round_best):
                 round_best, round_pick = result, g
         if round_pick is None:
             break
         # Keep growing only while it helps; adding a replica costs money,
         # so the curve is not monotone.
-        if best is not None and round_best.expectation.cost >= best.expectation.cost:
+        if best is not None and score(round_best) >= score(best):
             break
         chosen.append(round_pick)
         remaining.discard(round_pick)

@@ -19,13 +19,25 @@ products instead of ``(L+1)**k`` python-level model evaluations.  The
 grid introduces a small quadrature error, so the winning combination is
 re-evaluated exactly (and, if the exact check violates the deadline, the
 next-best candidates are tried in order).
+
+Performance layer (see DESIGN.md "Performance"): the per-group tables
+(bid candidates, refined intervals, outcome pmfs) depend only on
+``(market, spec, ondemand cost, config)`` — not on the deadline — so
+they are shared across optimizer instances through a cache that lives
+with each group's :class:`FailureModel`.  Subset score vectors and exact
+re-evaluations are likewise memoised, and ``optimize_subset`` accepts an
+incumbent bound (``prune_above``) that lets the subset search skip
+combinations that provably cannot beat the best feasible cost found so
+far.  All caches are exact and every pruning bound is admissible, so
+results are bit-identical with the caches and pruning disabled.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
-from typing import Mapping, Optional, Sequence, Tuple
+import weakref
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -43,6 +55,59 @@ _WALL_GRID = 256
 _MAX_BATCH = 65536
 _EXACT_FALLBACK_TRIES = 32
 
+#: Relative safety margin applied to the admissible pruning bound before
+#: a subset is skipped.  The bound is mathematically a true lower bound;
+#: the margin absorbs last-ulp float differences between the bound's
+#: summation order and the exact evaluator's, so pruning can never drop
+#: a combination that exact evaluation would have scored strictly below
+#: the incumbent.
+_PRUNE_MARGIN = 1e-9
+
+
+# ----------------------------------------------------------------------
+# Cross-instance caches
+# ----------------------------------------------------------------------
+# The expensive per-group precomputation (interval refinement + outcome
+# pmfs) is keyed by everything that enters it and stored *with the
+# failure model* (weakly), so fig5/fig6/fig7/fig8 and Algorithm 1's
+# windowed re-optimisation stop rebuilding identical tables.  A new
+# trace means a new FailureModel means a fresh cache — no invalidation
+# rules to get wrong.  Subset score vectors and exact re-evaluations are
+# capped dicts, cleared wholesale when full (they are pure caches).
+
+_RAW_TABLE_CACHE: "weakref.WeakKeyDictionary[FailureModel, dict]" = (
+    weakref.WeakKeyDictionary()
+)
+_token_counter = itertools.count()
+
+_SUBSET_EVAL_CACHE: dict = {}
+_SUBSET_EVAL_CACHE_MAX = 2048
+_EXACT_EVAL_CACHE: dict = {}
+_EXACT_EVAL_CACHE_MAX = 65536
+
+
+def clear_shared_caches() -> None:
+    """Drop every cross-instance planner cache (tests, memory pressure)."""
+    _RAW_TABLE_CACHE.clear()
+    _SUBSET_EVAL_CACHE.clear()
+    _EXACT_EVAL_CACHE.clear()
+
+
+@dataclass
+class _RawGroupEntry:
+    """Deadline-independent per-group precomputation, shareable across
+    optimizer instances (cached per failure model)."""
+
+    token: int  # unique id for downstream cache keys
+    bids: np.ndarray
+    intervals: np.ndarray
+    outcomes: list[GroupOutcome]
+    e_spot: np.ndarray  # (nb,) expected spot cost S*M*E[X]
+    e_wall: np.ndarray  # (nb,) expected wall time E[X]
+    e_ratio: np.ndarray  # (nb,) expected recovery ratio E[Ratio]
+    wall_max: float
+    grids: dict = field(default_factory=dict)  # wall_hi -> (surv_ratio, surv_wall)
+
 
 @dataclass
 class _GroupTable:
@@ -53,8 +118,11 @@ class _GroupTable:
     intervals: np.ndarray  # (nb,)
     outcomes: list[GroupOutcome]
     e_spot: np.ndarray  # (nb,) expected spot cost S*M*E[X]
+    e_wall: np.ndarray  # (nb,) expected wall time E[X]
+    e_ratio: np.ndarray  # (nb,) expected recovery ratio E[Ratio]
     surv_ratio: np.ndarray  # (nb, RATIO_GRID) P(ratio >= midpoint)
     surv_wall: np.ndarray  # (nb, WALL_GRID)  P(wall  >= midpoint)
+    token: int = -1
 
     @property
     def n_bids(self) -> int:
@@ -118,59 +186,121 @@ class TwoLevelOptimizer:
                 ) from None
         self._tables: dict[int, _GroupTable] = {}
         self._grids_ready = False
+        self._wall_hi = 0.0
         self.combos_evaluated = 0
+        self.subsets_pruned = 0
 
     # ------------------------------------------------------------------
     # Precomputation
     # ------------------------------------------------------------------
+    def _entry_key(self, spec) -> tuple:
+        """Everything the per-group table computation reads."""
+        cfg = self.config
+        return (
+            spec.key,
+            spec.n_instances,
+            spec.exec_time,
+            spec.checkpoint_overhead,
+            spec.recovery_overhead,
+            self.ondemand.full_run_cost,
+            cfg.bid_levels,
+            cfg.time_step_hours,
+            cfg.interval_refine,
+            cfg.checkpointing,
+        )
+
+    def _raw_entry(self, fm: FailureModel, spec) -> _RawGroupEntry:
+        use_cache = self.config.table_cache
+        key = self._entry_key(spec)
+        per_model: Optional[dict] = None
+        if use_cache:
+            per_model = _RAW_TABLE_CACHE.get(fm)
+            if per_model is None:
+                per_model = {}
+                _RAW_TABLE_CACHE[fm] = per_model
+            entry = per_model.get(key)
+            if entry is not None:
+                return entry
+
+        step = self.config.time_step_hours
+        bids = log_bid_candidates(
+            fm.max_price(), self.config.bid_levels, floor_price=fm.min_price()
+        )
+        intervals = np.empty(bids.size)
+        outcomes: list[GroupOutcome] = []
+        wall_max = 0.0
+        for b, bid in enumerate(bids):
+            if not self.config.checkpointing:
+                interval = spec.exec_time  # w/o-CK ablation: no checkpoints
+            else:
+                interval = optimal_interval(
+                    spec,
+                    float(bid),
+                    fm,
+                    self.ondemand,
+                    step_hours=step,
+                    refine=self.config.interval_refine,
+                )
+            outcome = GroupOutcome.build(spec, float(bid), interval, fm, step)
+            intervals[b] = interval
+            outcomes.append(outcome)
+            wall_max = max(wall_max, float(outcome.wall.max()))
+        entry = _RawGroupEntry(
+            token=next(_token_counter),
+            bids=bids,
+            intervals=intervals,
+            outcomes=outcomes,
+            e_spot=np.array([o.expected_spot_cost() for o in outcomes]),
+            e_wall=np.array([float(np.dot(o.pmf, o.wall)) for o in outcomes]),
+            e_ratio=np.array([float(np.dot(o.pmf, o.ratios)) for o in outcomes]),
+            wall_max=wall_max,
+        )
+        if per_model is not None:
+            per_model[key] = entry
+        return entry
+
     def _build_tables(self) -> None:
         """Build all group tables and the shared quadrature grids."""
         if self._grids_ready:
             return
-        step = self.config.time_step_hours
-        raw: dict[int, tuple[np.ndarray, np.ndarray, list[GroupOutcome]]] = {}
+        entries = {
+            i: self._raw_entry(self._models[i], spec)
+            for i, spec in enumerate(self.problem.groups)
+        }
         wall_hi = 0.0
-        for i, spec in enumerate(self.problem.groups):
-            fm = self._models[i]
-            bids = log_bid_candidates(
-                fm.max_price(), self.config.bid_levels, floor_price=fm.min_price()
-            )
-            intervals = np.empty(bids.size)
-            outcomes: list[GroupOutcome] = []
-            for b, bid in enumerate(bids):
-                if not self.config.checkpointing:
-                    interval = spec.exec_time  # w/o-CK ablation: no checkpoints
-                else:
-                    interval = optimal_interval(
-                        spec,
-                        float(bid),
-                        fm,
-                        self.ondemand,
-                        step_hours=step,
-                        refine=self.config.interval_refine,
-                    )
-                outcome = GroupOutcome.build(spec, float(bid), interval, fm, step)
-                intervals[b] = interval
-                outcomes.append(outcome)
-                wall_hi = max(wall_hi, float(outcome.wall.max()))
-            raw[i] = (bids, intervals, outcomes)
+        for entry in entries.values():
+            wall_hi = max(wall_hi, entry.wall_max)
 
         wall_hi = max(wall_hi, 1e-9)
         ratio_mid = (np.arange(_RATIO_GRID) + 0.5) / _RATIO_GRID  # over [0, 1]
         wall_mid = (np.arange(_WALL_GRID) + 0.5) * (wall_hi / _WALL_GRID)
         self._ratio_delta = 1.0 / _RATIO_GRID
         self._wall_delta = wall_hi / _WALL_GRID
+        self._wall_hi = wall_hi
 
-        for i, (bids, intervals, outcomes) in raw.items():
-            nb = bids.size
-            e_spot = np.array([o.expected_spot_cost() for o in outcomes])
-            surv_ratio = np.empty((nb, _RATIO_GRID))
-            surv_wall = np.empty((nb, _WALL_GRID))
-            for b, o in enumerate(outcomes):
-                surv_ratio[b] = _survival_rows(o.ratios, o.pmf, ratio_mid)
-                surv_wall[b] = _survival_rows(o.wall, o.pmf, wall_mid)
+        for i, entry in entries.items():
+            grids = entry.grids.get(wall_hi) if self.config.table_cache else None
+            if grids is None:
+                nb = entry.bids.size
+                surv_ratio = np.empty((nb, _RATIO_GRID))
+                surv_wall = np.empty((nb, _WALL_GRID))
+                for b, o in enumerate(entry.outcomes):
+                    surv_ratio[b] = _survival_rows(o.ratios, o.pmf, ratio_mid)
+                    surv_wall[b] = _survival_rows(o.wall, o.pmf, wall_mid)
+                grids = (surv_ratio, surv_wall)
+                if self.config.table_cache:
+                    entry.grids[wall_hi] = grids
             self._tables[i] = _GroupTable(
-                i, bids, intervals, outcomes, e_spot, surv_ratio, surv_wall
+                i,
+                entry.bids,
+                entry.intervals,
+                entry.outcomes,
+                entry.e_spot,
+                entry.e_wall,
+                entry.e_ratio,
+                grids[0],
+                grids[1],
+                entry.token,
             )
         self._grids_ready = True
 
@@ -180,6 +310,29 @@ class TwoLevelOptimizer:
         return self._tables[group_index]
 
     # ------------------------------------------------------------------
+    # Pruning bound
+    # ------------------------------------------------------------------
+    def _subset_bound(self, tables: Sequence[_GroupTable], objective: str) -> float:
+        """Admissible lower bound on the subset's best exact score.
+
+        ``cost``: every combo pays at least each group's cheapest spot
+        bill, and the on-demand recovery term satisfies
+        ``E[min_i R_i] >= prod_i E[R_i]`` (``min(a, b) >= a * b`` for
+        values in ``[0, 1]``, then independence), so
+        ``sum_i min_b e_spot + D * prod_i min_b E[R]`` is admissible.
+
+        ``time``: ``E[max_i X_i] >= E[X_i] >= min_b E[X_i(b)]`` for any
+        group, so the largest per-group floor is admissible.
+        """
+        if objective == "cost":
+            spot_floor = sum(float(t.e_spot.min()) for t in tables)
+            ratio_floor = 1.0
+            for t in tables:
+                ratio_floor *= float(t.e_ratio.min())
+            return spot_floor + ratio_floor * self.ondemand.full_run_cost
+        return max(float(t.e_wall.min()) for t in tables)
+
+    # ------------------------------------------------------------------
     # Subset optimization
     # ------------------------------------------------------------------
     def optimize_subset(
@@ -187,6 +340,7 @@ class TwoLevelOptimizer:
         group_indices: Sequence[int],
         objective: str = "cost",
         budget: Optional[float] = None,
+        prune_above: Optional[float] = None,
     ) -> Optional[SubsetResult]:
         """Best (bids, intervals) for this subset, or ``None`` if no bid
         combination satisfies the constraint in exact evaluation.
@@ -195,6 +349,14 @@ class TwoLevelOptimizer:
         cost subject to expected time <= deadline.  ``objective="time"``
         (the dual, budget-constrained problem): minimise expected time
         subject to expected cost <= ``budget``.
+
+        ``prune_above`` is an incumbent score (best feasible cost/time
+        found so far by the caller's subset traversal): when the subset's
+        admissible lower bound cannot beat it, the whole evaluation is
+        skipped and ``None`` is returned.  Because the bound is a true
+        lower bound on the *exact* score, a pruned subset could never
+        have replaced the incumbent, so the traversal's final result is
+        unchanged.
         """
         indices = tuple(group_indices)
         if len(indices) == 0:
@@ -209,45 +371,43 @@ class TwoLevelOptimizer:
         tables = [self._tables[i] for i in indices]
         sizes = [t.n_bids for t in tables]
         total = int(np.prod(sizes))
+        # Counts the search-space coverage (the paper's "bid combinations
+        # traversed"), not the arithmetic actually performed — pruned and
+        # cache-served combinations are still logically covered.
+        self.combos_evaluated += total
+
+        if prune_above is not None:
+            bound = self._subset_bound(tables, objective)
+            if bound >= prune_above * (1.0 + _PRUNE_MARGIN) + 1e-12:
+                self.subsets_pruned += 1
+                return None
 
         candidates: list[tuple[float, float, tuple[int, ...]]] = []
 
-        for batch in _combo_batches(sizes, _MAX_BATCH):
-            # batch: (C, k) integer bid indices
-            cost_spot = np.zeros(batch.shape[0])
-            surv_r = np.ones((batch.shape[0], _RATIO_GRID))
-            prod_below_w = np.ones((batch.shape[0], _WALL_GRID))
-            for g, table in enumerate(tables):
-                rows = batch[:, g]
-                cost_spot += table.e_spot[rows]
-                surv_r *= table.surv_ratio[rows]
-                prod_below_w *= 1.0 - table.surv_wall[rows]
-            e_min_ratio = self._ratio_delta * surv_r.sum(axis=1)
-            e_max_wall = self._wall_delta * (1.0 - prod_below_w).sum(axis=1)
-            cost = cost_spot + e_min_ratio * self.ondemand.full_run_cost
-            time = e_max_wall + e_min_ratio * self.ondemand.exec_time
-            # Keep a slightly generous feasibility margin; the exact
-            # re-evaluation below is the authority.
+        for batch, cost, time in self._scored_batches(
+            tables, sizes, total, objective, prune_above
+        ):
             if objective == "cost":
                 constraint, score = time, cost
                 limit = self.problem.deadline
             else:
                 constraint, score = cost, time
                 limit = budget
+            # Keep a slightly generous feasibility margin; the exact
+            # re-evaluation below is the authority.
             feasible = np.flatnonzero(constraint <= limit * 1.02 + 1e-9)
             if feasible.size > _EXACT_FALLBACK_TRIES:
                 top = np.argpartition(score[feasible], _EXACT_FALLBACK_TRIES)
                 feasible = feasible[top[:_EXACT_FALLBACK_TRIES]]
             for c in feasible:
                 candidates.append((float(score[c]), float(cost[c]), tuple(batch[c])))
-        self.combos_evaluated += total
 
         if not candidates:
             return None
         candidates.sort(key=lambda item: item[0])
         for _score, _cost, combo in candidates[:_EXACT_FALLBACK_TRIES]:
             outcomes = [t.outcomes[b] for t, b in zip(tables, combo)]
-            exact = evaluate(outcomes, self.ondemand)
+            exact = self._evaluate_exact(tables, combo, outcomes)
             ok = (
                 exact.meets_deadline(self.problem.deadline)
                 if objective == "cost"
@@ -274,19 +434,109 @@ class TwoLevelOptimizer:
                 )
         return None
 
+    # ------------------------------------------------------------------
+    def _scored_batches(
+        self,
+        tables: Sequence[_GroupTable],
+        sizes: Sequence[int],
+        total: int,
+        objective: str,
+        prune_above: Optional[float],
+    ) -> Iterator[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Yield ``(batch, cost, time)`` score vectors for the subset.
+
+        Single-batch subsets (the common case) are served from / stored
+        into the shared score cache, because the score vectors depend
+        only on the group tables — not on deadline or budget.  Whole
+        batches whose *separable* spot cost already exceeds the incumbent
+        are skipped before the grid products: every combination they
+        contain has exact cost >= its spot cost, and their approximate
+        scores likewise, so the skipped candidates sort strictly after
+        every candidate that could still beat the incumbent — dropping
+        them cannot change which combination the exact fallback returns
+        to the traversal.
+        """
+        cache_key = None
+        if self.config.table_cache and total <= _MAX_BATCH:
+            cache_key = (tuple(t.token for t in tables), self._wall_hi)
+            cached = _SUBSET_EVAL_CACHE.get(cache_key)
+            if cached is not None:
+                yield cached
+                return
+
+        for batch in _combo_batches(sizes, _MAX_BATCH):
+            cost_spot = np.zeros(batch.shape[0])
+            for g, table in enumerate(tables):
+                cost_spot += table.e_spot[batch[:, g]]
+            if (
+                prune_above is not None
+                and objective == "cost"
+                and cache_key is None
+                and float(cost_spot.min()) >= prune_above
+            ):
+                continue
+            surv_r = np.ones((batch.shape[0], _RATIO_GRID))
+            prod_below_w = np.ones((batch.shape[0], _WALL_GRID))
+            for g, table in enumerate(tables):
+                rows = batch[:, g]
+                surv_r *= table.surv_ratio[rows]
+                prod_below_w *= 1.0 - table.surv_wall[rows]
+            e_min_ratio = self._ratio_delta * surv_r.sum(axis=1)
+            e_max_wall = self._wall_delta * (1.0 - prod_below_w).sum(axis=1)
+            cost = cost_spot + e_min_ratio * self.ondemand.full_run_cost
+            time = e_max_wall + e_min_ratio * self.ondemand.exec_time
+            if cache_key is not None:
+                if len(_SUBSET_EVAL_CACHE) >= _SUBSET_EVAL_CACHE_MAX:
+                    _SUBSET_EVAL_CACHE.clear()
+                _SUBSET_EVAL_CACHE[cache_key] = (batch, cost, time)
+            yield batch, cost, time
+
+    def _evaluate_exact(
+        self,
+        tables: Sequence[_GroupTable],
+        combo: Tuple[int, ...],
+        outcomes: Sequence[GroupOutcome],
+    ) -> Expectation:
+        """Exact re-evaluation of one combination, memoised across
+        optimizer instances (the Expectation depends only on the group
+        outcomes and the on-demand option, both part of the key)."""
+        if not self.config.table_cache:
+            return evaluate(outcomes, self.ondemand)
+        key = (
+            tuple(t.token for t in tables),
+            combo,
+            self.ondemand.full_run_cost,
+            self.ondemand.exec_time,
+        )
+        exact = _EXACT_EVAL_CACHE.get(key)
+        if exact is None:
+            exact = evaluate(outcomes, self.ondemand)
+            if len(_EXACT_EVAL_CACHE) >= _EXACT_EVAL_CACHE_MAX:
+                _EXACT_EVAL_CACHE.clear()
+            _EXACT_EVAL_CACHE[key] = exact
+        return exact
+
 
 def _combo_batches(sizes: Sequence[int], max_batch: int):
-    """Yield (C, k) index arrays covering the product space in batches."""
+    """Yield (C, k) index arrays covering the product space in batches.
+
+    Both paths enumerate the product space in row-major order (last
+    index fastest, matching ``itertools.product``); the streaming path
+    decodes flat indices arithmetically instead of materialising python
+    tuples, so even huge spaces stream as pure array work.
+    """
     total = int(np.prod(sizes))
     k = len(sizes)
     if total <= max_batch:
         grids = np.indices(sizes).reshape(k, total).T
         yield np.ascontiguousarray(grids)
         return
-    # Stream the product in chunks without materialising it all.
-    it = itertools.product(*[range(s) for s in sizes])
-    while True:
-        chunk = list(itertools.islice(it, max_batch))
-        if not chunk:
-            return
-        yield np.asarray(chunk, dtype=np.intp)
+    # Stream the product in chunks: decode flat indices lo..hi into
+    # mixed-radix digits (row-major, matching itertools.product order).
+    radix = np.asarray(sizes, dtype=np.intp)
+    divisors = np.ones(k, dtype=np.intp)
+    for j in range(k - 2, -1, -1):
+        divisors[j] = divisors[j + 1] * radix[j + 1]
+    for lo in range(0, total, max_batch):
+        flat = np.arange(lo, min(lo + max_batch, total), dtype=np.intp)
+        yield (flat[:, None] // divisors[None, :]) % radix[None, :]

@@ -1,0 +1,340 @@
+"""Vectorised single-shot trace replay over many starting points.
+
+:func:`repro.execution.replay.replay_decision` drives one replay with
+scalar trace scans (``first_at_or_below`` / ``first_exceedance`` walk a
+boolean suffix per call).  Monte-Carlo evaluation replays the *same
+decision* from hundreds of starting points, so here the per-(trace, bid)
+next-launch / next-death segment indices are precomputed once and every
+start is resolved with a ``searchsorted`` — all launches, deaths,
+progress computations and the completion cut-back pass become array
+operations over the whole batch.
+
+The arithmetic mirrors the scalar replay operation-for-operation (same
+IEEE ops in the same order; the price integral is evaluated with the
+very same :func:`integrate_price` per run window), so the results —
+including the per-group records and the cost ledger — are bit-identical
+to a sequential loop of ``replay_decision`` calls.  The batch path only
+implements the analytic model's *single-shot* semantics with continuous
+billing and no storage accounting; :mod:`.montecarlo` dispatches here
+when those hold and falls back to the scalar replay otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..cloud.billing import CostLedger
+from ..cloud.spot import integrate_price
+from ..core.ckpt_math import checkpoints_completed, total_wall
+from ..core.problem import Decision, Problem
+from ..errors import TraceError
+from ..market.history import SpotPriceHistory
+from .replay import decision_horizon
+from .results import GroupRunRecord, RunResult
+
+
+@dataclass
+class _GroupCtx:
+    """Per-group constants plus the precomputed trace indices."""
+
+    spec: object
+    bid: float
+    interval: float
+    work: float
+    eff_interval: float
+    need_wall: float  # failure-free wall time for the remaining work
+    done_wall: float
+    k_done: int  # checkpoints of a completed run
+    trace: object
+    times: np.ndarray
+    times_ext: np.ndarray  # times with +inf sentinel (index n = "never")
+    below: np.ndarray  # prices <= bid per segment
+    nxt_below_ext: np.ndarray  # smallest j >= i with prices[j] <= bid, else n
+    nxt_above_ext: np.ndarray  # smallest j >= i with prices[j] >  bid, else n
+
+
+def _next_index(mask: np.ndarray) -> np.ndarray:
+    """``out[i]`` = smallest ``j >= i`` with ``mask[j]``, else ``n``;
+    length ``n + 1`` so a query one past the end is the sentinel."""
+    n = mask.size
+    pos = np.where(mask, np.arange(n), n)
+    nxt = np.minimum.accumulate(pos[::-1])[::-1]
+    return np.concatenate([nxt, [n]])
+
+
+def _group_ctx(spec, gd, trace) -> _GroupCtx:
+    work = spec.exec_time
+    eff = min(gd.interval, work)
+    below = trace.prices <= gd.bid
+    return _GroupCtx(
+        spec=spec,
+        bid=gd.bid,
+        interval=gd.interval,
+        work=work,
+        eff_interval=eff,
+        need_wall=total_wall(work, eff, spec.checkpoint_overhead),
+        done_wall=total_wall(work, eff, spec.checkpoint_overhead),
+        k_done=checkpoints_completed(work, work, eff),
+        trace=trace,
+        times=trace.times,
+        times_ext=np.concatenate([trace.times, [np.inf]]),
+        below=below,
+        nxt_below_ext=_next_index(below),
+        nxt_above_ext=_next_index(~below),
+    )
+
+
+def _progress_vec(
+    wall: np.ndarray, exec_time: float, interval: float, overhead: float,
+    done_wall: float, k_done: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorised :func:`repro.core.ckpt_math.progress_after_wall` —
+    identical branch structure and float operations, elementwise."""
+    cycle = interval + overhead
+    k_full = np.floor(wall / cycle + 1e-12)
+    rem = wall - k_full * cycle
+    productive = np.where(
+        rem <= interval + 1e-12, k_full * interval + rem, (k_full + 1.0) * interval
+    )
+    productive = np.minimum(productive, exec_time)
+    saved = np.minimum(k_full * interval, productive)
+    done = wall >= done_wall - 1e-12
+    productive = np.where(done, exec_time, productive)
+    saved = np.where(done, exec_time, saved)
+    n_ckpt = np.where(done, float(k_done), k_full).astype(np.int64)
+    return productive, saved, n_ckpt
+
+
+@dataclass
+class _GroupBatch:
+    """One group's replay outcome across all starts, as arrays."""
+
+    launched: np.ndarray  # bool
+    launch: np.ndarray  # launch time (garbage where not launched)
+    end: np.ndarray
+    terminated: np.ndarray  # bool
+    completed: np.ndarray  # bool
+    productive: np.ndarray
+    saved: np.ndarray
+    n_ckpt: np.ndarray
+    cost: np.ndarray
+
+
+def _run_group_batch(
+    ctx: _GroupCtx, t0: np.ndarray, t1: np.ndarray
+) -> _GroupBatch:
+    """Array version of ``replay._run_group_in_window`` (single-shot,
+    continuous billing, full work) over per-element windows ``[t0, t1)``."""
+    times = ctx.times
+    n = ctx.below.size
+    k = np.searchsorted(times, t0, side="right") - 1
+    below_k = ctx.below[k]
+    launch_seg = np.where(below_k, k, ctx.nxt_below_ext[np.minimum(k + 1, n)])
+    launch = np.where(below_k, t0, ctx.times_ext[launch_seg])
+    launched = launch < t1  # never-launch gives +inf, also excluded here
+
+    death_seg = ctx.nxt_above_ext[np.minimum(launch_seg + 1, n)]
+    death = ctx.times_ext[death_seg]
+    # Unlaunched elements carry launch = +inf; pin them to the window
+    # start so the arithmetic below stays finite (their outputs are
+    # overwritten wholesale at the end).
+    launch = np.where(launched, launch, t0)
+    horizon = np.minimum(t1, launch + ctx.need_wall)
+    terminated = death < horizon
+    end = np.where(terminated, death, horizon)
+    wall = np.maximum(end - launch, 0.0)
+
+    spec = ctx.spec
+    productive, saved, n_ckpt = _progress_vec(
+        wall, ctx.work, ctx.eff_interval, spec.checkpoint_overhead,
+        ctx.done_wall, ctx.k_done,
+    )
+    completed = productive >= ctx.work - 1e-9
+    bank = np.flatnonzero(launched & ~terminated & ~completed)
+    if bank.size:
+        boundary_wall = np.maximum(0.0, wall[bank] - spec.checkpoint_overhead)
+        banked, _s, _n = _progress_vec(
+            boundary_wall, ctx.work, ctx.eff_interval, spec.checkpoint_overhead,
+            ctx.done_wall, ctx.k_done,
+        )
+        saved[bank] = np.maximum(saved[bank], banked)
+
+    # Unlaunched: dead at the window boundary with nothing gained.
+    end = np.where(launched, end, t1)
+    terminated = np.where(launched, terminated, True)
+    completed = np.where(launched, completed, False)
+    productive = np.where(launched, productive, 0.0)
+    saved = np.where(launched, saved, 0.0)
+    n_ckpt = np.where(launched, n_ckpt, 0)
+
+    cost = np.zeros(t0.size)
+    bill_end = np.minimum(end, ctx.trace.end_time)
+    for i in np.flatnonzero(launched & (end > launch)):
+        cost[i] = (
+            integrate_price(ctx.trace, float(launch[i]), float(bill_end[i]))
+            * spec.n_instances
+        )
+    return _GroupBatch(
+        launched=launched, launch=launch, end=end, terminated=terminated,
+        completed=completed, productive=productive, saved=saved,
+        n_ckpt=n_ckpt, cost=cost,
+    )
+
+
+def _records_at(
+    ctxs: Sequence[_GroupCtx], runs: Sequence[_GroupBatch], i: int, t1_i: float
+) -> tuple[GroupRunRecord, ...]:
+    recs = []
+    for ctx, run in zip(ctxs, runs):
+        launched = bool(run.launched[i])
+        recs.append(
+            GroupRunRecord(
+                key=ctx.spec.key,
+                bid=ctx.bid,
+                interval=ctx.interval,
+                launched=launched,
+                launch_time=float(run.launch[i]) if launched else None,
+                end_time=float(run.end[i]) if launched else t1_i,
+                terminated=bool(run.terminated[i]),
+                completed=bool(run.completed[i]),
+                productive=float(run.productive[i]),
+                saved=float(run.saved[i]),
+                n_checkpoints=int(run.n_ckpt[i]),
+                spot_cost=float(run.cost[i]),
+            )
+        )
+    return tuple(recs)
+
+
+def replay_batch(
+    problem: Problem,
+    decision: Decision,
+    history: SpotPriceHistory,
+    starts: np.ndarray,
+    horizon: Optional[float] = None,
+) -> list[RunResult]:
+    """Replay ``decision`` from every start in ``starts``; equivalent to
+    ``[replay_decision(problem, decision, history, t, horizon=horizon)
+    for t in starts]`` with default (single-shot, continuous-billing)
+    settings, but with the trace scans batched across starts."""
+    starts = np.asarray(starts, dtype=float)
+    ondemand = problem.ondemand_options[decision.ondemand_index]
+    if not decision.groups:
+        out = []
+        for t in starts:
+            ledger = CostLedger()
+            cost = ondemand.full_run_cost
+            ledger.add("ondemand", f"full run on {ondemand.itype.name}", cost)
+            out.append(
+                RunResult(
+                    start_time=float(t), cost=cost, makespan=ondemand.exec_time,
+                    completed_by="ondemand", ondemand_hours=ondemand.exec_time,
+                    group_records=(), ledger=ledger,
+                )
+            )
+        return out
+
+    if horizon is None:
+        horizon = decision_horizon(problem, decision)
+    ctxs = []
+    t1 = starts + horizon
+    for gd in decision.groups:
+        spec = problem.groups[gd.group_index]
+        trace = history.get(spec.key)
+        if starts.size and (
+            starts.min() < trace.start_time or starts.max() >= trace.end_time
+        ):
+            bad = starts[
+                (starts < trace.start_time) | (starts >= trace.end_time)
+            ][0]
+            raise TraceError(
+                f"t0={bad} outside trace window "
+                f"[{trace.start_time}, {trace.end_time})"
+            )
+        ctxs.append(_group_ctx(spec, gd, trace))
+        t1 = np.minimum(t1, trace.end_time)
+    if np.any(t1 <= starts):
+        raise TraceError("no trace data at the requested start time")
+
+    runs = [_run_group_batch(ctx, starts, t1) for ctx in ctxs]
+
+    # Completion cut-back (replay_window's second pass): every other
+    # group is clipped to the first completion instant and recomputed.
+    comp_end = np.where(
+        np.stack([r.completed for r in runs]),
+        np.stack([r.end for r in runs]),
+        np.inf,
+    )
+    t_done = comp_end.min(axis=0)
+    winner = comp_end.argmin(axis=0)  # first index on ties, like min(tuples)
+    any_comp = np.isfinite(t_done)
+    rerun = np.flatnonzero(any_comp & (t_done > starts))
+    if rerun.size:
+        for g, ctx in enumerate(ctxs):
+            sub = _run_group_batch(ctx, starts[rerun], t_done[rerun])
+            for name in (
+                "launched", "launch", "end", "terminated", "completed",
+                "productive", "saved", "n_ckpt", "cost",
+            ):
+                getattr(runs[g], name)[rerun] = getattr(sub, name)
+
+    spot_total = np.zeros(starts.size)
+    for r in runs:
+        spot_total = spot_total + r.cost
+
+    # On-demand recovery inputs for the non-completed starts (Formula 7).
+    min_ratio = np.ones(starts.size)
+    for ctx, r in zip(ctxs, runs):
+        spec = ctx.spec
+        ratio = (spec.exec_time - r.saved + spec.recovery_overhead) / spec.exec_time
+        ratio = np.maximum(0.0, np.minimum(1.0, ratio))
+        min_ratio = np.minimum(min_ratio, np.where(r.saved > 0, ratio, 1.0))
+    all_dead = np.all(np.stack([r.terminated for r in runs]), axis=0)
+    max_end = np.max(np.stack([r.end for r in runs]), axis=0)
+    od_start = np.where(all_dead, max_end, t1)
+    od_hours = min_ratio * ondemand.exec_time
+    od_cost = od_hours * ondemand.fleet_rate
+
+    out = []
+    for i in range(starts.size):
+        t0_i = float(starts[i])
+        horizon_i = float(t_done[i]) if any_comp[i] else float(t1[i])
+        records = _records_at(ctxs, runs, i, horizon_i)
+        ledger = CostLedger()
+        for rec in records:
+            ledger.add("spot", f"{rec.key} bid=${rec.bid:.4f}", rec.spot_cost)
+        if any_comp[i]:
+            win_spec = problem.groups[decision.groups[int(winner[i])].group_index]
+            out.append(
+                RunResult(
+                    start_time=t0_i,
+                    cost=float(spot_total[i]),
+                    makespan=float(t_done[i]) - t0_i,
+                    completed_by=str(win_spec.key),
+                    ondemand_hours=0.0,
+                    group_records=records,
+                    ledger=ledger,
+                )
+            )
+        else:
+            ledger.add(
+                "ondemand",
+                f"recovery of {float(min_ratio[i]):.2%} on {ondemand.itype.name}",
+                float(od_cost[i]),
+            )
+            out.append(
+                RunResult(
+                    start_time=t0_i,
+                    cost=float(spot_total[i]) + float(od_cost[i]),
+                    makespan=(float(od_start[i]) - t0_i) + float(od_hours[i]),
+                    completed_by="ondemand",
+                    ondemand_hours=float(od_hours[i]),
+                    group_records=records,
+                    ledger=ledger,
+                )
+            )
+    return out

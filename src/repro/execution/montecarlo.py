@@ -5,6 +5,14 @@ our bid price with the spot price along the time ... We repeat the
 simulation [many] times and calculate the expected cost."  Replays are
 independent given the starting points, which are drawn uniformly from
 the part of the history that leaves room for the replay horizon.
+
+Execution strategy: single-shot replays are batched through
+:mod:`.batch_replay` (bit-identical to the scalar loop, see that
+module); persistent-semantics replays stay on the scalar path.  Both
+accept ``jobs`` to fan the pre-drawn starting points out over worker
+processes — the starts are drawn *before* chunking and the chunk results
+are concatenated in order, so the output is byte-identical to a serial
+run regardless of ``jobs``.
 """
 
 from __future__ import annotations
@@ -16,6 +24,7 @@ import numpy as np
 from ..core.problem import Decision, Problem
 from ..errors import TraceError
 from ..market.history import SpotPriceHistory
+from .batch_replay import replay_batch
 from .replay import decision_horizon, replay_decision
 from .results import MonteCarloSummary, RunResult
 
@@ -55,6 +64,55 @@ def sample_start_times(
     return rng.uniform(lo, latest, size=n_samples)
 
 
+def _replay_chunk(
+    problem: Problem,
+    decision: Decision,
+    history: SpotPriceHistory,
+    starts: np.ndarray,
+    horizon: Optional[float],
+    semantics: str,
+) -> list[RunResult]:
+    """Replay one chunk of starting points (module-level so worker
+    processes can import it)."""
+    if semantics == "single-shot" and decision.groups:
+        return replay_batch(problem, decision, history, starts, horizon=horizon)
+    return [
+        replay_decision(
+            problem, decision, history, float(t), horizon=horizon,
+            semantics=semantics,
+        )
+        for t in starts
+    ]
+
+
+def _replay_starts(
+    problem: Problem,
+    decision: Decision,
+    history: SpotPriceHistory,
+    starts: np.ndarray,
+    horizon: Optional[float],
+    semantics: str,
+    jobs: Optional[int],
+) -> list[RunResult]:
+    if jobs is not None and jobs > 1 and starts.size > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        chunks = np.array_split(starts, min(jobs, starts.size))
+        results: list[RunResult] = []
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [
+                pool.submit(
+                    _replay_chunk, problem, decision, history, chunk,
+                    horizon, semantics,
+                )
+                for chunk in chunks
+            ]
+            for future in futures:  # submission order == start order
+                results.extend(future.result())
+        return results
+    return _replay_chunk(problem, decision, history, starts, horizon, semantics)
+
+
 def evaluate_decision_mc(
     problem: Problem,
     decision: Decision,
@@ -65,19 +123,20 @@ def evaluate_decision_mc(
     horizon: Optional[float] = None,
     t_min: Optional[float] = None,
     semantics: str = "single-shot",
+    jobs: Optional[int] = None,
 ) -> MonteCarloSummary:
-    """Expected cost/time of ``decision`` over random starting points."""
+    """Expected cost/time of ``decision`` over random starting points.
+
+    ``jobs > 1`` replays chunks of starts in worker processes; the
+    summary is byte-identical to the serial run for the same ``rng``.
+    """
     deadline = problem.deadline if deadline is None else deadline
     starts = sample_start_times(
         problem, decision, history, n_samples, rng, horizon, t_min
     )
-    results = [
-        replay_decision(
-            problem, decision, history, float(t), horizon=horizon,
-            semantics=semantics,
-        )
-        for t in starts
-    ]
+    results = _replay_starts(
+        problem, decision, history, starts, horizon, semantics, jobs
+    )
     return MonteCarloSummary.from_results(results, deadline)
 
 
@@ -90,19 +149,12 @@ def replay_many(
     horizon: Optional[float] = None,
     t_min: Optional[float] = None,
     semantics: str = "single-shot",
+    jobs: Optional[int] = None,
 ) -> list[RunResult]:
     """Raw replay results (for distribution plots and variance studies)."""
     starts = sample_start_times(
         problem, decision, history, n_samples, rng, horizon, t_min
     )
-    return [
-        replay_decision(
-            problem,
-            decision,
-            history,
-            float(t),
-            horizon=horizon,
-            semantics=semantics,
-        )
-        for t in starts
-    ]
+    return _replay_starts(
+        problem, decision, history, starts, horizon, semantics, jobs
+    )

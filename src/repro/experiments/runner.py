@@ -6,6 +6,13 @@ Usage::
     python -m repro.experiments.runner --quick         # reduced sampling
     python -m repro.experiments.runner --only fig5 tab2
     python -m repro.experiments.runner --seed 11
+    python -m repro.experiments.runner --jobs 4        # experiments in parallel
+
+``--jobs N`` runs whole experiments in worker processes.  Each worker
+rebuilds the experiment environment from the seed, and every random
+stream is derived statelessly from (seed, stream name), so the printed
+tables are byte-identical to a serial run — only the ordering of the
+work changes, never the numbers.
 """
 
 from __future__ import annotations
@@ -53,6 +60,19 @@ def _all_experiments(env: ExperimentEnv, n_samples: int) -> dict:
     }
 
 
+def _run_one(name: str, seed: int, n_samples: int) -> tuple:
+    """Run one experiment in a fresh environment (worker entry point).
+
+    Every experiment draws randomness only through stateless
+    ``rng.fresh(stream)`` derivations from the seed, so a rebuilt
+    environment produces exactly the tables the shared one would.
+    """
+    env = ExperimentEnv.paper_default(seed=seed)
+    t0 = time.perf_counter()
+    results = _all_experiments(env, n_samples)[name]()
+    return results, time.perf_counter() - t0
+
+
 def main(argv: Iterable[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--seed", type=int, default=7)
@@ -76,6 +96,13 @@ def main(argv: Iterable[str] | None = None) -> int:
         metavar="PATH",
         help="also write all result rows to a JSON file",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run experiments in N worker processes (same output as serial)",
+    )
     args = parser.parse_args(list(argv) if argv is not None else None)
 
     n_samples = 40 if args.quick else args.samples
@@ -87,15 +114,31 @@ def main(argv: Iterable[str] | None = None) -> int:
         parser.error(f"unknown experiments {unknown}; known: {list(experiments)}")
 
     all_results: List[ExperimentResult] = []
-    for name in selected:
-        t0 = time.perf_counter()
-        results = experiments[name]()
-        wall = time.perf_counter() - t0
+
+    def emit(name: str, results: List[ExperimentResult], wall: float) -> None:
         for res in results:
             print(res.format_table())
-            print(f"[{name} completed in {wall:.1f}s]")
             print()
             all_results.append(res)
+        print(f"[{name} completed in {wall:.1f}s]")
+        print()
+
+    if args.jobs is not None and args.jobs > 1 and len(selected) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=args.jobs) as pool:
+            futures = {
+                name: pool.submit(_run_one, name, args.seed, n_samples)
+                for name in selected
+            }
+            # Gather in selection order for a stable, serial-identical log.
+            for name in selected:
+                emit(name, *futures[name].result())
+    else:
+        for name in selected:
+            t0 = time.perf_counter()
+            results = experiments[name]()
+            emit(name, results, time.perf_counter() - t0)
     if args.json:
         _write_json(all_results, args.seed, n_samples, args.json)
         print(f"wrote JSON results to {args.json}")

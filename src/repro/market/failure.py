@@ -19,6 +19,15 @@ Discretisation follows the paper: failure times are floored to integer
 multiples of ``step_hours`` (1 hour by default).  Within each step we use
 the *maximum* observed price to decide termination — a spike shorter than
 a step still kills the instance — and the mean price for payment.
+
+The same small set of log-bid candidates is queried over and over by
+:func:`repro.core.interval.optimal_interval`,
+:meth:`repro.core.cost_model.GroupOutcome.build` and every baseline, so
+the per-bid quantities (``steps_to_failure``, ``failure_pmf``,
+``mttf_hours``, ``expected_price``) are memoised per instance.  Cached
+arrays are returned read-only; pass ``cache=False`` to recompute from
+scratch on every call (the determinism regression tests cross-validate
+the two modes).
 """
 
 from __future__ import annotations
@@ -49,6 +58,11 @@ class FailureModel:
         Treat the history as circular so every step is a usable starting
         point.  With ``False``, starting points whose horizon would run
         past the end of the trace are censored at the boundary.
+    cache:
+        Memoise the per-bid statistics (on by default).  The cache is
+        exact — it stores the very arrays the uncached path computes —
+        and lives with the instance, so it never needs invalidation: a
+        new trace means a new model.
     """
 
     def __init__(
@@ -56,11 +70,16 @@ class FailureModel:
         trace: SpotPriceTrace,
         step_hours: float = 1.0,
         circular: bool = True,
+        cache: bool = True,
     ) -> None:
         check_positive("step_hours", step_hours)
         self.trace = trace
         self.step_hours = float(step_hours)
         self.circular = bool(circular)
+        self.cache_enabled = bool(cache)
+        self._stf_cache: dict[float, np.ndarray] = {}
+        self._pmf_cache: dict[tuple[float, int], np.ndarray] = {}
+        self._scalar_cache: dict[tuple[str, float], float] = {}
 
         n_steps = int(np.floor(trace.duration / step_hours))
         if n_steps < 1:
@@ -96,10 +115,14 @@ class FailureModel:
         (callers should treat the group as unusable via
         :meth:`launch_probability`).
         """
+        key = ("expected_price", float(bid))
+        if self.cache_enabled and key in self._scalar_cache:
+            return self._scalar_cache[key]
         mask = self._fine <= bid
-        if not mask.any():
-            return float(bid)
-        return float(self._fine[mask].mean())
+        value = float(self._fine[mask].mean()) if mask.any() else float(bid)
+        if self.cache_enabled:
+            self._scalar_cache[key] = value
+        return value
 
     def launch_probability(self, bid: float) -> float:
         """Fraction of starting steps at which the instance launches."""
@@ -117,7 +140,16 @@ class FailureModel:
         ``start + k``; ``k == 0`` means the instance dies within its first
         step.  Entries for non-launchable starts (start price > bid) are
         set to ``-1``.
+
+        The result is memoised per bid (read-only when served from the
+        cache) — the optimizer asks for the same handful of log-bid
+        candidates thousands of times.
         """
+        cbid = float(bid)
+        if self.cache_enabled:
+            cached = self._stf_cache.get(cbid)
+            if cached is not None:
+                return cached
         n = self.n_steps
         exceed = self.step_max > bid
         if self.circular:
@@ -133,6 +165,9 @@ class FailureModel:
         dist = np.minimum(dist, n)
         out = dist.astype(np.int64)
         out[self.step_start > bid] = -1
+        if self.cache_enabled:
+            out.setflags(write=False)
+            self._stf_cache[cbid] = out
         return out
 
     def failure_pmf(self, bid: float, horizon_steps: int) -> np.ndarray:
@@ -151,15 +186,23 @@ class FailureModel:
             raise ConfigurationError(
                 f"horizon_steps must be >= 1, got {horizon_steps}"
             )
+        key = (float(bid), int(horizon_steps))
+        if self.cache_enabled:
+            cached = self._pmf_cache.get(key)
+            if cached is not None:
+                return cached
         dist = self.steps_to_failure(bid)
         launchable = dist >= 0
         pmf = np.zeros(horizon_steps + 1)
         if not launchable.any():
             pmf[0] = 1.0
-            return pmf
-        d = np.minimum(dist[launchable], horizon_steps)
-        counts = np.bincount(d, minlength=horizon_steps + 1)
-        pmf[:] = counts / counts.sum()
+        else:
+            d = np.minimum(dist[launchable], horizon_steps)
+            counts = np.bincount(d, minlength=horizon_steps + 1)
+            pmf[:] = counts / counts.sum()
+        if self.cache_enabled:
+            pmf.setflags(write=False)
+            self._pmf_cache[key] = pmf
         return pmf
 
     def failure_pmf_sampled(
@@ -201,14 +244,22 @@ class FailureModel:
         estimate.  Returns ``inf`` when no failure is ever observed and
         ``0`` when the group cannot launch.
         """
+        key = ("mttf", float(bid))
+        if self.cache_enabled and key in self._scalar_cache:
+            return self._scalar_cache[key]
         dist = self.steps_to_failure(bid)
         launchable = dist >= 0
         if not launchable.any():
-            return 0.0
-        d = dist[launchable].astype(float)
-        if np.all(d >= self.n_steps):
-            return float("inf")
-        return float(d.mean() * self.step_hours)
+            value = 0.0
+        else:
+            d = dist[launchable].astype(float)
+            if np.all(d >= self.n_steps):
+                value = float("inf")
+            else:
+                value = float(d.mean() * self.step_hours)
+        if self.cache_enabled:
+            self._scalar_cache[key] = value
+        return value
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

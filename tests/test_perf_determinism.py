@@ -1,0 +1,152 @@
+"""Determinism regression tests for the performance layer.
+
+The caches, the pruned subset search, the batched replay and the
+process-parallel Monte-Carlo are all claimed to be *bit-identical* to
+the seed implementation paths.  These tests hold that claim down:
+
+* cached vs cache-disabled planning → identical plans,
+* pruned vs unpruned subset search → identical winner and counts,
+* batched vs scalar replay → identical RunResults field by field,
+* `jobs` > 1 vs serial Monte-Carlo → identical summaries.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.optimizer import SompiOptimizer, build_failure_models
+from repro.core.subset import exhaustive_subset_search
+from repro.core.two_level import TwoLevelOptimizer, clear_shared_caches
+from repro.execution.batch_replay import replay_batch
+from repro.execution.montecarlo import (
+    evaluate_decision_mc,
+    replay_many,
+    sample_start_times,
+)
+from repro.execution.replay import replay_decision
+from repro.experiments.env import ExperimentEnv
+
+
+@pytest.fixture(scope="module")
+def env():
+    return ExperimentEnv.paper_default()
+
+
+@pytest.fixture(scope="module")
+def planned(env):
+    problem = env.problem("BT", deadline_factor=1.5)
+    plan = env.sompi_plan(problem)
+    assert plan.decision.groups, "expected a spot-using plan"
+    return problem, plan
+
+
+class TestCachedPlanningIdentical:
+    def test_cache_off_matches_cache_on(self, env):
+        problem = env.problem("SP", deadline_factor=1.05)
+        cached_cfg = env.config.with_(table_cache=True)
+        uncached_cfg = env.config.with_(table_cache=False)
+        clear_shared_caches()
+        hot = SompiOptimizer(
+            problem,
+            build_failure_models(problem, env.training_history(), cache=True),
+            cached_cfg,
+        ).plan()
+        cold = SompiOptimizer(
+            problem,
+            build_failure_models(problem, env.training_history(), cache=False),
+            uncached_cfg,
+        ).plan()
+        assert hot.expectation == cold.expectation
+        assert hot.decision == cold.decision
+        assert hot.combos_evaluated == cold.combos_evaluated
+
+    def test_second_plan_served_from_cache_is_identical(self, env):
+        problem = env.problem("SP", deadline_factor=1.05)
+        models = build_failure_models(problem, env.training_history())
+        clear_shared_caches()
+        first = SompiOptimizer(problem, models, env.config).plan()
+        again = SompiOptimizer(problem, models, env.config).plan()
+        assert first.expectation == again.expectation
+        assert first.decision == again.decision
+
+
+class TestPrunedSearchIdentical:
+    def test_pruned_and_unpruned_traversals_agree(self, env):
+        problem = env.problem("FT", deadline_factor=1.5)
+        models = build_failure_models(problem, env.training_history())
+        ondemand = problem.ondemand_options[0]
+        clear_shared_caches()
+        pruned_opt = TwoLevelOptimizer(problem, models, ondemand, env.config)
+        pruned = exhaustive_subset_search(pruned_opt, kappa=2)
+        # The same traversal with pruning defeated: never pass a bound.
+        plain_opt = TwoLevelOptimizer(problem, models, ondemand, env.config)
+        best = None
+        from repro.core.subset import enumerate_subsets
+
+        for subset in enumerate_subsets(problem.n_groups, 2):
+            result = plain_opt.optimize_subset(subset)
+            if result is None:
+                continue
+            if best is None or result.expectation.cost < best.expectation.cost:
+                best = result
+        assert pruned is not None and best is not None
+        assert pruned.bids == best.bids
+        assert pruned.expectation == best.expectation
+        assert pruned_opt.combos_evaluated == plain_opt.combos_evaluated
+        assert pruned_opt.subsets_pruned > 0  # the bound actually fired
+
+
+class TestBatchedReplayIdentical:
+    def test_batch_matches_scalar_field_by_field(self, env, planned):
+        problem, plan = planned
+        starts = sample_start_times(
+            problem, plan.decision, env.history, 120,
+            env.rng.fresh("det-batch"), t_min=env.train_end,
+        )
+        scalar = [
+            replay_decision(problem, plan.decision, env.history, float(t))
+            for t in starts
+        ]
+        batched = replay_batch(problem, plan.decision, env.history, starts)
+        assert len(scalar) == len(batched)
+        for a, b in zip(scalar, batched):
+            assert a.start_time == b.start_time
+            assert a.cost == b.cost
+            assert a.makespan == b.makespan
+            assert a.completed_by == b.completed_by
+            assert a.ondemand_hours == b.ondemand_hours
+            assert [
+                (i.category, i.description, i.dollars) for i in a.ledger.items
+            ] == [
+                (i.category, i.description, i.dollars) for i in b.ledger.items
+            ]
+            for ra, rb in zip(a.group_records, b.group_records):
+                assert ra == rb
+
+
+class TestParallelMcIdentical:
+    def test_jobs_matches_serial_summary(self, env, planned):
+        problem, plan = planned
+        serial = evaluate_decision_mc(
+            problem, plan.decision, env.history, 40,
+            env.rng.fresh("det-jobs"), t_min=env.train_end,
+        )
+        parallel = evaluate_decision_mc(
+            problem, plan.decision, env.history, 40,
+            env.rng.fresh("det-jobs"), t_min=env.train_end, jobs=2,
+        )
+        assert serial == parallel
+
+    def test_jobs_matches_serial_runs_persistent(self, env, planned):
+        problem, plan = planned
+        kwargs = dict(t_min=env.train_end, semantics="persistent")
+        serial = replay_many(
+            problem, plan.decision, env.history, 16,
+            env.rng.fresh("det-jobs-p"), **kwargs,
+        )
+        parallel = replay_many(
+            problem, plan.decision, env.history, 16,
+            env.rng.fresh("det-jobs-p"), jobs=3, **kwargs,
+        )
+        assert [(r.cost, r.makespan, r.completed_by) for r in serial] == [
+            (r.cost, r.makespan, r.completed_by) for r in parallel
+        ]
