@@ -1,10 +1,15 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-full experiments quick
+.PHONY: test audit bench bench-full experiments quick
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+## Tier-1 tests with repro.obs audit mode on: every replay/adaptive
+## result must reconcile against its cost ledger or the suite fails.
+audit:
+	REPRO_AUDIT=1 $(PYTHON) -m pytest -x -q
 
 ## Perf suite in quick mode; refuses to overwrite BENCH_*.json on a
 ## >20% regression of the primary metric (pass FORCE=1 to override).

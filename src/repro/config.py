@@ -58,6 +58,16 @@ class SompiConfig:
         instances (see DESIGN.md "Performance").  The caches are exact —
         keyed by every input that enters the computation — so disabling
         this only trades speed for memory; results are unchanged.
+    audit:
+        Assert the :mod:`repro.obs` conservation invariants on every
+        result an executor built with this config produces (DESIGN.md
+        §7): ``cost == ledger.total()`` to 1e-9, ledger categories
+        reconciled with group records and the billing policy, monotone
+        banked progress across adaptive windows.  Violations raise
+        :class:`~repro.errors.AuditError`.  Off by default — audit-off
+        outputs are bit-identical to a build without the layer.  The
+        ``REPRO_AUDIT=1`` environment variable (``make audit``) enables
+        auditing process-wide regardless of this flag.
     """
 
     slack: float = 0.20
@@ -70,6 +80,7 @@ class SompiConfig:
     checkpointing: bool = True
     max_miss_probability: float | None = None
     table_cache: bool = True
+    audit: bool = False
 
     def __post_init__(self) -> None:
         check_fraction("slack", self.slack)

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Optional
 
+from .. import obs
 from ..config import DEFAULT_CONFIG, SompiConfig
 from ..errors import InfeasibleError
 from ..market.failure import FailureModel
@@ -87,12 +88,13 @@ def build_failure_models(
     ``cache=False`` disables the models' per-bid memoisation (used by the
     perf benchmarks to time the uncached path; results are identical).
     """
-    return {
-        spec.key: FailureModel(
-            history.get(spec.key), step_hours=step_hours, cache=cache
-        )
-        for spec in problem.groups
-    }
+    with obs.get_metrics().timer("plan.build_models"):
+        return {
+            spec.key: FailureModel(
+                history.get(spec.key), step_hours=step_hours, cache=cache
+            )
+            for spec in problem.groups
+        }
 
 
 class SompiOptimizer:
@@ -132,16 +134,22 @@ class SompiOptimizer:
         InfeasibleError
             If even the pure on-demand options cannot meet the deadline.
         """
-        od_index, ondemand = select_ondemand_relaxed(
-            self.problem.ondemand_options, self.problem.deadline, self.config.slack
-        )
+        metrics = obs.get_metrics()
+        metrics.inc("plan.calls")
+        with metrics.timer("plan.ondemand_select"):
+            od_index, ondemand = select_ondemand_relaxed(
+                self.problem.ondemand_options, self.problem.deadline,
+                self.config.slack,
+            )
         optimizer = TwoLevelOptimizer(
             self.problem, self.failure_models, ondemand, self.config
         )
-        if self.config.subset_strategy == "greedy":
-            result = greedy_subset_search(optimizer, self.config.kappa)
-        else:
-            result = exhaustive_subset_search(optimizer, self.config.kappa)
+        with metrics.timer("plan.subset_search"):
+            if self.config.subset_strategy == "greedy":
+                result = greedy_subset_search(optimizer, self.config.kappa)
+            else:
+                result = exhaustive_subset_search(optimizer, self.config.kappa)
+        metrics.inc("plan.combos_evaluated", optimizer.combos_evaluated)
 
         ondemand_only = _ondemand_only_expectation(ondemand)
         if result is None or result.expectation.cost >= ondemand_only.cost:

@@ -41,6 +41,7 @@ from typing import Iterator, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..config import DEFAULT_CONFIG, SompiConfig
 from ..errors import ConfigurationError
 from ..market.failure import FailureModel
@@ -220,7 +221,9 @@ class TwoLevelOptimizer:
                 _RAW_TABLE_CACHE[fm] = per_model
             entry = per_model.get(key)
             if entry is not None:
+                obs.get_metrics().inc("cache.table_hits")
                 return entry
+            obs.get_metrics().inc("cache.table_misses")
 
         step = self.config.time_step_hours
         bids = log_bid_candidates(
@@ -461,8 +464,10 @@ class TwoLevelOptimizer:
             cache_key = (tuple(t.token for t in tables), self._wall_hi)
             cached = _SUBSET_EVAL_CACHE.get(cache_key)
             if cached is not None:
+                obs.get_metrics().inc("cache.subset_hits")
                 yield cached
                 return
+            obs.get_metrics().inc("cache.subset_misses")
 
         for batch in _combo_batches(sizes, _MAX_BATCH):
             cost_spot = np.zeros(batch.shape[0])
@@ -510,10 +515,13 @@ class TwoLevelOptimizer:
         )
         exact = _EXACT_EVAL_CACHE.get(key)
         if exact is None:
+            obs.get_metrics().inc("cache.exact_misses")
             exact = evaluate(outcomes, self.ondemand)
             if len(_EXACT_EVAL_CACHE) >= _EXACT_EVAL_CACHE_MAX:
                 _EXACT_EVAL_CACHE.clear()
             _EXACT_EVAL_CACHE[key] = exact
+        else:
+            obs.get_metrics().inc("cache.exact_hits")
         return exact
 
 

@@ -42,3 +42,12 @@ class MPIRuntimeError(SimulationError):
 
 class CheckpointError(ReproError):
     """Checkpoint data was requested but never stored, or is corrupt."""
+
+
+class AuditError(ReproError):
+    """A result violated a cost-conservation or bookkeeping invariant.
+
+    Raised only in audit mode (:mod:`repro.obs`): the replayed totals
+    and their ledgers disagreed, which means a table built from them
+    would be silently biased.
+    """

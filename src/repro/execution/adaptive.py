@@ -17,16 +17,18 @@ distributions go unnoticed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace as dc_replace
+from dataclasses import dataclass, field, replace as dc_replace
 from typing import Optional, Sequence
 
+from .. import obs
+from ..cloud.billing import BillingPolicy, CONTINUOUS, CostLedger
 from ..config import DEFAULT_CONFIG, SompiConfig
 from ..core.ondemand_select import select_ondemand
 from ..core.optimizer import SompiOptimizer, build_failure_models
 from ..core.problem import OnDemandOption, Problem
 from ..errors import ConfigurationError, InfeasibleError
 from ..market.history import SpotPriceHistory
-from .replay import replay_window
+from .replay import checkpoint_storage_cost, replay_window
 
 _MAX_WINDOWS = 10_000
 _MIN_WORK_FRACTION = 1e-9
@@ -48,7 +50,13 @@ class WindowRecord:
 
 @dataclass(frozen=True)
 class AdaptiveResult:
-    """Outcome of one adaptive execution."""
+    """Outcome of one adaptive execution.
+
+    ``ledger`` itemises every dollar of ``cost``: one ``spot`` line per
+    group per window, the ``ondemand`` fallback line if the deadline
+    guard fired, and ``storage`` lines when checkpoint-image accounting
+    is on.  ``cost == ledger.total()`` is an audited invariant.
+    """
 
     cost: float
     makespan: float
@@ -56,6 +64,7 @@ class AdaptiveResult:
     fallback_used: bool
     windows: tuple[WindowRecord, ...]
     deadline: float
+    ledger: CostLedger = field(default_factory=CostLedger)
 
     @property
     def met_deadline(self) -> bool:
@@ -85,6 +94,8 @@ class AdaptiveExecutor:
         training_hours: float = 72.0,
         refresh_models: bool = True,
         semantics: str = "single-shot",
+        billing: BillingPolicy = CONTINUOUS,
+        account_storage: bool = False,
     ) -> None:
         if training_hours <= 0:
             raise ConfigurationError("training_hours must be > 0")
@@ -96,6 +107,8 @@ class AdaptiveExecutor:
         self.training_hours = training_hours
         self.refresh_models = refresh_models
         self.semantics = semantics
+        self.billing = billing
+        self.account_storage = account_storage
         self._frozen_models = None
 
     # ------------------------------------------------------------------
@@ -122,13 +135,17 @@ class AdaptiveExecutor:
         done = 0.0
         now = start_time
         cost = 0.0
+        ledger = CostLedger()
         windows: list[WindowRecord] = []
         frozen_decision = None
+        obs.get_metrics().inc("adaptive.runs")
 
         for index in range(_MAX_WINDOWS):
             left = 1.0 - done
             if left <= _MIN_WORK_FRACTION:
-                return self._finish(cost, now - start_time, True, False, windows)
+                return self._finish(
+                    cost, now - start_time, True, False, windows, ledger
+                )
             remaining_deadline = deadline_abs - now
 
             # Deadline guard (Algorithm 1 lines 6-9): keep enough time to
@@ -155,8 +172,13 @@ class AdaptiveExecutor:
             spot_time_left = remaining_deadline - od.exec_time
             if spot_time_left < min(self.config.window_hours, 1.0):
                 cost += od.full_run_cost
+                ledger.add(
+                    "ondemand",
+                    f"deadline fallback of {left:.2%} on {od.itype.name}",
+                    od.full_run_cost,
+                )
                 makespan = (now - start_time) + od.exec_time
-                return self._finish(cost, makespan, True, True, windows)
+                return self._finish(cost, makespan, True, True, windows, ledger)
 
             window_len = min(self.config.window_hours, spot_time_left)
             t1 = now + window_len
@@ -175,8 +197,13 @@ class AdaptiveExecutor:
                 # Optimizer says on-demand is the cheapest way to finish.
                 od_opt = sub.ondemand_options[decision.ondemand_index]
                 cost += od_opt.full_run_cost
+                ledger.add(
+                    "ondemand",
+                    f"planned finish of {left:.2%} on {od_opt.itype.name}",
+                    od_opt.full_run_cost,
+                )
                 makespan = (now - start_time) + od_opt.exec_time
-                return self._finish(cost, makespan, True, True, windows)
+                return self._finish(cost, makespan, True, True, windows, ledger)
 
             outcome = replay_window(
                 sub,
@@ -185,17 +212,41 @@ class AdaptiveExecutor:
                 now,
                 t1,
                 persistent=(self.semantics == "persistent"),
+                billing=self.billing,
             )
             cost += outcome.cost
+            for rec in outcome.records:
+                ledger.add(
+                    "spot",
+                    f"window {index}: {rec.key} bid=${rec.bid:.4f}",
+                    rec.spot_cost,
+                )
+            if self.account_storage:
+                run_end = (
+                    outcome.completion_time if outcome.completed else t1
+                )
+                storage = checkpoint_storage_cost(
+                    sub, decision, outcome.records, run_end
+                )
+                if storage > 0:
+                    cost += storage
+                    ledger.add(
+                        "storage", f"window {index}: checkpoint images", storage
+                    )
             used = tuple(
                 str(sub.groups[g.group_index].key) for g in decision.groups
+            )
+            obs.emit(
+                "window", now, index=index, t1=t1, cost=outcome.cost,
+                gained=outcome.gained_fraction * left,
+                completed=outcome.completed,
             )
             if outcome.completed:
                 makespan = outcome.completion_time - start_time
                 windows.append(
                     WindowRecord(index, now, t1, done, 1.0, outcome.cost, used, True)
                 )
-                return self._finish(cost, makespan, True, False, windows)
+                return self._finish(cost, makespan, True, False, windows, ledger)
 
             new_done = done + outcome.gained_fraction * left
             windows.append(
@@ -215,12 +266,18 @@ class AdaptiveExecutor:
         completed: bool,
         fallback: bool,
         windows: Sequence[WindowRecord],
+        ledger: CostLedger,
     ) -> AdaptiveResult:
-        return AdaptiveResult(
+        obs.get_metrics().inc("adaptive.windows", len(windows))
+        result = AdaptiveResult(
             cost=cost,
             makespan=makespan,
             completed=completed,
             fallback_used=fallback,
             windows=tuple(windows),
             deadline=self.problem.deadline,
+            ledger=ledger,
         )
+        if self.config.audit or obs.audit_enabled():
+            obs.audit_adaptive_result(result)
+        return result

@@ -27,13 +27,14 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..cloud.billing import CostLedger
 from ..cloud.spot import integrate_price
 from ..core.ckpt_math import checkpoints_completed, total_wall
 from ..core.problem import Decision, Problem
 from ..errors import TraceError
 from ..market.history import SpotPriceHistory
-from .replay import decision_horizon
+from .replay import decision_horizon, observe_result
 from .results import GroupRunRecord, RunResult
 
 
@@ -222,6 +223,9 @@ def replay_batch(
     for t in starts]`` with default (single-shot, continuous-billing)
     settings, but with the trace scans batched across starts."""
     starts = np.asarray(starts, dtype=float)
+    metrics = obs.get_metrics()
+    metrics.inc("replay.batch_runs")
+    metrics.inc("replay.batch_starts", starts.size)
     ondemand = problem.ondemand_options[decision.ondemand_index]
     if not decision.groups:
         out = []
@@ -230,10 +234,14 @@ def replay_batch(
             cost = ondemand.full_run_cost
             ledger.add("ondemand", f"full run on {ondemand.itype.name}", cost)
             out.append(
-                RunResult(
-                    start_time=float(t), cost=cost, makespan=ondemand.exec_time,
-                    completed_by="ondemand", ondemand_hours=ondemand.exec_time,
-                    group_records=(), ledger=ledger,
+                observe_result(
+                    RunResult(
+                        start_time=float(t), cost=cost,
+                        makespan=ondemand.exec_time, completed_by="ondemand",
+                        ondemand_hours=ondemand.exec_time,
+                        group_records=(), ledger=ledger,
+                    ),
+                    problem, decision, history,
                 )
             )
         return out
@@ -275,12 +283,19 @@ def replay_batch(
     rerun = np.flatnonzero(any_comp & (t_done > starts))
     if rerun.size:
         for g, ctx in enumerate(ctxs):
-            sub = _run_group_batch(ctx, starts[rerun], t_done[rerun])
+            # The winner completed *at* t_done — its first-pass record is
+            # already clipped correctly, and recomputing against the
+            # completion horizon can only degrade it at float edges, so
+            # (like replay_window) only the losing groups are recomputed.
+            idx = rerun[winner[rerun] != g]
+            if idx.size == 0:
+                continue
+            sub = _run_group_batch(ctx, starts[idx], t_done[idx])
             for name in (
                 "launched", "launch", "end", "terminated", "completed",
                 "productive", "saved", "n_ckpt", "cost",
             ):
-                getattr(runs[g], name)[rerun] = getattr(sub, name)
+                getattr(runs[g], name)[idx] = getattr(sub, name)
 
     spot_total = np.zeros(starts.size)
     for r in runs:
@@ -309,16 +324,14 @@ def replay_batch(
             ledger.add("spot", f"{rec.key} bid=${rec.bid:.4f}", rec.spot_cost)
         if any_comp[i]:
             win_spec = problem.groups[decision.groups[int(winner[i])].group_index]
-            out.append(
-                RunResult(
-                    start_time=t0_i,
-                    cost=float(spot_total[i]),
-                    makespan=float(t_done[i]) - t0_i,
-                    completed_by=str(win_spec.key),
-                    ondemand_hours=0.0,
-                    group_records=records,
-                    ledger=ledger,
-                )
+            result = RunResult(
+                start_time=t0_i,
+                cost=float(spot_total[i]),
+                makespan=float(t_done[i]) - t0_i,
+                completed_by=str(win_spec.key),
+                ondemand_hours=0.0,
+                group_records=records,
+                ledger=ledger,
             )
         else:
             ledger.add(
@@ -326,15 +339,14 @@ def replay_batch(
                 f"recovery of {float(min_ratio[i]):.2%} on {ondemand.itype.name}",
                 float(od_cost[i]),
             )
-            out.append(
-                RunResult(
-                    start_time=t0_i,
-                    cost=float(spot_total[i]) + float(od_cost[i]),
-                    makespan=(float(od_start[i]) - t0_i) + float(od_hours[i]),
-                    completed_by="ondemand",
-                    ondemand_hours=float(od_hours[i]),
-                    group_records=records,
-                    ledger=ledger,
-                )
+            result = RunResult(
+                start_time=t0_i,
+                cost=float(spot_total[i]) + float(od_cost[i]),
+                makespan=(float(od_start[i]) - t0_i) + float(od_hours[i]),
+                completed_by="ondemand",
+                ondemand_hours=float(od_hours[i]),
+                group_records=records,
+                ledger=ledger,
             )
+        out.append(observe_result(result, problem, decision, history))
     return out

@@ -21,6 +21,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import obs
 from ..core.problem import Decision, Problem
 from ..errors import TraceError
 from ..market.history import SpotPriceHistory
@@ -42,20 +43,35 @@ def sample_start_times(
 
     ``t_min`` restricts sampling to start at/after that time — used to
     keep evaluation replays out of the model's training window.
+
+    A pure on-demand decision consumes no trace during its replay, but
+    its starting points still honour ``t_min`` and the trace window of
+    the problem's candidate markets (when the history has them), so its
+    timestamps are drawn from the same evaluation period as the hybrid
+    replays it is compared against.  With no trace data at all, every
+    start is pinned to ``t_min`` (or 0).
     """
     if horizon is None:
         horizon = decision_horizon(problem, decision)
     lo, hi = None, None
     keys = [problem.groups[g.group_index].key for g in decision.groups]
-    if not keys:  # pure on-demand: any start works
-        return np.zeros(n_samples)
+    need_trace = bool(keys)
+    if not keys:
+        # Pure on-demand: fall back to the problem's candidate markets
+        # so the window (and t_min) still shape the sampled starts.
+        keys = [spec.key for spec in problem.groups if spec.key in history]
+    if not keys:
+        base = 0.0 if t_min is None else float(t_min)
+        return np.full(n_samples, base)
     for key in keys:
         trace = history.get(key)
         lo = trace.start_time if lo is None else max(lo, trace.start_time)
         hi = trace.end_time if hi is None else min(hi, trace.end_time)
     if t_min is not None:
         lo = max(lo, t_min)
-    latest = hi - horizon
+    # An on-demand run needs no trace data after its start, so the
+    # horizon margin only applies when spot groups will actually replay.
+    latest = hi - horizon if need_trace else hi
     if latest <= lo:
         raise TraceError(
             f"history too short for Monte-Carlo: window [{lo}, {hi}) cannot "
@@ -131,12 +147,16 @@ def evaluate_decision_mc(
     summary is byte-identical to the serial run for the same ``rng``.
     """
     deadline = problem.deadline if deadline is None else deadline
+    metrics = obs.get_metrics()
+    metrics.inc("mc.evaluations")
+    metrics.inc("mc.samples", n_samples)
     starts = sample_start_times(
         problem, decision, history, n_samples, rng, horizon, t_min
     )
-    results = _replay_starts(
-        problem, decision, history, starts, horizon, semantics, jobs
-    )
+    with metrics.timer("mc.replay"):
+        results = _replay_starts(
+            problem, decision, history, starts, horizon, semantics, jobs
+        )
     return MonteCarloSummary.from_results(results, deadline)
 
 

@@ -16,6 +16,7 @@ import math
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from .. import obs
 from ..cloud.billing import BillingPolicy, CONTINUOUS, CostLedger
 from ..cloud.spot import (
     billed_spot_cost,
@@ -302,9 +303,13 @@ def replay_window(
     if completions:
         t_done, winner = min(completions)
         if t_done > t0:
+            # The winner completed *at* t_done, so rerunning it against
+            # the completion-clipped horizon can only degrade its record
+            # (float-edge clipping marks it not-completed); keep the
+            # first-pass record for the winner and recompute the rest.
+            first_pass = records
             records = run_all(t_done)
-        # The winner's own record may now be "not completed" if the
-        # recomputed horizon clipped it; restore from the first pass.
+            records[winner] = first_pass[winner]
         win_spec = problem.groups[decision.groups[winner].group_index]
         return WindowOutcome(
             records=tuple(records),
@@ -333,20 +338,44 @@ def replay_window(
     )
 
 
+def checkpoint_write_times(
+    spec, interval: float, rec: GroupRunRecord, fraction_done: float = 0.0
+) -> list[float]:
+    """Absolute times at which one replayed group wrote its checkpoints.
+
+    The single source of truth for the stored-image timeline: the replay
+    checkpoints every ``min(interval, work) + O`` wall hours — *not* the
+    raw decision interval, which drifts from the real schedule whenever
+    it exceeds the remaining work (window replays of a nearly-done run).
+    Both the storage accounting and the ``checkpoint`` events of the
+    audit stream (:mod:`repro.obs`) derive from this list, so they
+    cannot disagree with each other or with the replay arithmetic.
+    """
+    if rec.launch_time is None or rec.n_checkpoints <= 0:
+        return []
+    work = (1.0 - fraction_done) * spec.exec_time
+    eff_interval = min(interval, work) if work > 0 else interval
+    cycle = eff_interval + spec.checkpoint_overhead
+    return [rec.launch_time + (k + 1) * cycle for k in range(rec.n_checkpoints)]
+
+
 def checkpoint_storage_cost(
     problem: Problem,
     decision: Decision,
     records: Sequence[GroupRunRecord],
     run_end: float,
     price_per_gb_month: float = 0.03,
+    fraction_done: float = 0.0,
 ) -> float:
     """S3 storage dollars for the checkpoints of one replay.
 
-    Each group's checkpoints land at ``launch + k * (F + O)`` and
-    overwrite the previous image (the paper's scheme); the last image
-    persists until the run ends.  Groups with ``image_bytes == 0`` are
-    skipped — accounting is opt-in because the cost is, as the paper
-    observes, three orders of magnitude below the compute bill.
+    Each group's checkpoints land on the :func:`checkpoint_write_times`
+    timeline and overwrite the previous image (the paper's scheme); the
+    last image persists until the run ends.  Groups with
+    ``image_bytes == 0`` are skipped — accounting is opt-in because the
+    cost is, as the paper observes, three orders of magnitude below the
+    compute bill.  ``fraction_done`` is the work fraction already banked
+    before this replay began (window replays of a partially-done run).
     """
     from ..units import BYTES_PER_GB
 
@@ -354,13 +383,12 @@ def checkpoint_storage_cost(
     total_gb_hours = 0.0
     for gd, rec in zip(decision.groups, records):
         spec = problem.groups[gd.group_index]
-        if spec.image_bytes <= 0 or rec.n_checkpoints <= 0 or rec.launch_time is None:
+        if spec.image_bytes <= 0:
             continue
-        cycle = gd.interval + spec.checkpoint_overhead
+        write_times = checkpoint_write_times(spec, gd.interval, rec, fraction_done)
+        if not write_times:
+            continue
         gb = spec.image_bytes / BYTES_PER_GB
-        write_times = [
-            rec.launch_time + (k + 1) * cycle for k in range(rec.n_checkpoints)
-        ]
         for k, t_write in enumerate(write_times):
             t_next = write_times[k + 1] if k + 1 < len(write_times) else run_end
             total_gb_hours += gb * max(0.0, t_next - t_write)
@@ -383,6 +411,38 @@ def decision_horizon(problem: Problem, decision: Decision) -> float:
         eff = min(gd.interval, spec.exec_time)
         walls.append(total_wall(spec.exec_time, eff, spec.checkpoint_overhead))
     return _LAUNCH_PATIENCE * max(walls) + ondemand.exec_time
+
+
+def observe_result(
+    result: RunResult,
+    problem: Problem,
+    decision: Decision,
+    history: Optional[SpotPriceHistory] = None,
+    billing: BillingPolicy = CONTINUOUS,
+    semantics: str = "single-shot",
+    account_storage: bool = False,
+) -> RunResult:
+    """Emit events for and (in audit mode) verify one finished result.
+
+    The shared exit point of the scalar and the batched replay: both
+    produce bit-identical :class:`RunResult` objects, and both hand them
+    through here, so the derived event streams are identical by
+    construction and the audit invariants guard both paths equally.
+    No-op beyond two flag checks when observability is off.
+    """
+    if obs.trace_active():
+        obs.emit_events(obs.derive_replay_events(problem, decision, result))
+    if obs.audit_enabled():
+        obs.audit_run_result(
+            problem,
+            decision,
+            result,
+            history=history,
+            billing=billing,
+            semantics=semantics,
+            account_storage=account_storage,
+        )
+    return result
 
 
 def replay_decision(
@@ -410,13 +470,17 @@ def replay_decision(
         raise ConfigurationError(
             f"unknown semantics {semantics!r}; known: {SEMANTICS}"
         )
+    obs.get_metrics().inc("replay.scalar_runs")
+    _observe = lambda result: observe_result(  # noqa: E731 — shared exit point
+        result, problem, decision, history, billing, semantics, account_storage
+    )
     ondemand = problem.ondemand_options[decision.ondemand_index]
     ledger = CostLedger()
 
     if not decision.groups:
         cost = ondemand.full_run_cost
         ledger.add("ondemand", f"full run on {ondemand.itype.name}", cost)
-        return RunResult(
+        return _observe(RunResult(
             start_time=start_time,
             cost=cost,
             makespan=ondemand.exec_time,
@@ -424,7 +488,7 @@ def replay_decision(
             ondemand_hours=ondemand.exec_time,
             group_records=(),
             ledger=ledger,
-        )
+        ))
 
     if horizon is None:
         horizon = decision_horizon(problem, decision)
@@ -454,7 +518,7 @@ def replay_decision(
             )
             if storage > 0:
                 ledger.add("storage", "checkpoint images", storage)
-        return RunResult(
+        return _observe(RunResult(
             start_time=start_time,
             cost=window.cost + storage,
             makespan=window.completion_time - start_time,
@@ -462,7 +526,7 @@ def replay_decision(
             ondemand_hours=0.0,
             group_records=window.records,
             ledger=ledger,
-        )
+        ))
 
     # All groups dead or abandoned: recover on on-demand from the best
     # checkpoint (min Ratio across groups, Formula 7).
@@ -487,7 +551,7 @@ def replay_decision(
         )
         if storage > 0:
             ledger.add("storage", "checkpoint images", storage)
-    return RunResult(
+    return _observe(RunResult(
         start_time=start_time,
         cost=window.cost + od_cost + storage,
         makespan=(od_start - start_time) + od_hours,
@@ -495,4 +559,4 @@ def replay_decision(
         ondemand_hours=od_hours,
         group_records=window.records,
         ledger=ledger,
-    )
+    ))

@@ -8,6 +8,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..cloud.billing import CostLedger
+from ..errors import ConfigurationError
 from ..market.history import MarketKey
 
 
@@ -77,6 +78,13 @@ class MonteCarloSummary:
     def from_results(
         cls, results: Sequence[RunResult], deadline: Optional[float]
     ) -> "MonteCarloSummary":
+        if not results:
+            # Without this, numpy would hand back NaN means and
+            # np.percentile would crash with an opaque IndexError.
+            raise ConfigurationError(
+                "cannot summarise an empty result list; draw at least one "
+                "Monte-Carlo sample"
+            )
         costs = np.array([r.cost for r in results])
         times = np.array([r.makespan for r in results])
         n = len(results)

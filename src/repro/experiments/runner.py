@@ -13,14 +13,25 @@ rebuilds the experiment environment from the seed, and every random
 stream is derived statelessly from (seed, stream name), so the printed
 tables are byte-identical to a serial run — only the ordering of the
 work changes, never the numbers.
+
+``--audit`` turns on :mod:`repro.obs` audit mode for the whole sweep:
+every replay and adaptive result is reconciled against its cost ledger
+(``cost == ledger.total()`` to 1e-9) and the run aborts on the first
+violation.  ``--metrics PATH`` writes the observability counters and
+timers as a JSON sidecar (never into the results JSON) and prints the
+human-readable metrics block; with ``--jobs`` the workers' registries
+are merged into the parent's before reporting.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Iterable, List
+
+from .. import obs
 
 from . import (
     accuracy,
@@ -60,17 +71,25 @@ def _all_experiments(env: ExperimentEnv, n_samples: int) -> dict:
     }
 
 
-def _run_one(name: str, seed: int, n_samples: int) -> tuple:
+def _run_one(name: str, seed: int, n_samples: int, audit: bool = False) -> tuple:
     """Run one experiment in a fresh environment (worker entry point).
 
     Every experiment draws randomness only through stateless
     ``rng.fresh(stream)`` derivations from the seed, so a rebuilt
     environment produces exactly the tables the shared one would.
+
+    Returns ``(results, wall_seconds, metrics_snapshot)``.  The worker's
+    metrics registry is reset first so the snapshot covers exactly this
+    experiment even when the pool reuses the process.
     """
+    if audit:
+        obs.set_audit(True)
+    obs.reset_metrics()
     env = ExperimentEnv.paper_default(seed=seed)
     t0 = time.perf_counter()
     results = _all_experiments(env, n_samples)[name]()
-    return results, time.perf_counter() - t0
+    wall = time.perf_counter() - t0
+    return results, wall, obs.get_metrics().snapshot()
 
 
 def main(argv: Iterable[str] | None = None) -> int:
@@ -103,7 +122,25 @@ def main(argv: Iterable[str] | None = None) -> int:
         metavar="N",
         help="run experiments in N worker processes (same output as serial)",
     )
+    parser.add_argument(
+        "--audit",
+        action="store_true",
+        help="assert cost-ledger conservation on every result (repro.obs)",
+    )
+    parser.add_argument(
+        "--metrics",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write observability counters/timers to a JSON sidecar",
+    )
     args = parser.parse_args(list(argv) if argv is not None else None)
+
+    if args.audit:
+        # Both switches: set_audit covers this process, the environment
+        # variable covers worker processes however they are started.
+        os.environ["REPRO_AUDIT"] = "1"
+        obs.set_audit(True)
 
     n_samples = 40 if args.quick else args.samples
     env = ExperimentEnv.paper_default(seed=args.seed)
@@ -128,12 +165,16 @@ def main(argv: Iterable[str] | None = None) -> int:
 
         with ProcessPoolExecutor(max_workers=args.jobs) as pool:
             futures = {
-                name: pool.submit(_run_one, name, args.seed, n_samples)
+                name: pool.submit(
+                    _run_one, name, args.seed, n_samples, args.audit
+                )
                 for name in selected
             }
             # Gather in selection order for a stable, serial-identical log.
             for name in selected:
-                emit(name, *futures[name].result())
+                results, wall, snap = futures[name].result()
+                obs.get_metrics().merge_snapshot(snap)
+                emit(name, results, wall)
     else:
         for name in selected:
             t0 = time.perf_counter()
@@ -143,7 +184,28 @@ def main(argv: Iterable[str] | None = None) -> int:
         _write_json(all_results, args.seed, n_samples, args.json)
         print(f"wrote JSON results to {args.json}")
     print(f"ran {len(all_results)} experiment tables with seed={args.seed}")
+    if args.audit:
+        print("audit: every result reconciled against its cost ledger")
+    if args.metrics or args.audit:
+        print()
+        print(obs.get_metrics().format_block())
+    if args.metrics:
+        _write_metrics(args.metrics)
+        print(f"wrote metrics to {args.metrics}")
     return 0
+
+
+def _write_metrics(path: str) -> None:
+    """Dump the merged metrics registry as a JSON sidecar.
+
+    Kept out of the results JSON on purpose: wall-clock timers vary run
+    to run, and ``experiments_results.json`` must stay bit-identical
+    for the same seed and sampling parameters.
+    """
+    import json
+
+    with open(path, "w") as fh:
+        json.dump(obs.get_metrics().snapshot(), fh, indent=1)
 
 
 def _write_json(

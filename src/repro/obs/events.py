@@ -1,0 +1,175 @@
+"""Structured event tracing for replayed executions.
+
+The replay layer describes everything that happens to a hybrid run —
+spot launches, out-of-bid deaths, checkpoint writes, completions,
+on-demand fallbacks, adaptive optimization windows — but until now that
+story existed only implicitly, scattered across ``GroupRunRecord``
+fields.  :class:`EventTrace` makes it explicit: a bounded in-memory ring
+buffer of :class:`Event` records with an optional JSONL sink, cheap
+enough to leave compiled in (emission is a no-op unless a trace is
+installed, see :mod:`repro.obs`).
+
+Event kinds and their payloads (the schema, see DESIGN.md §7):
+
+========== ===========================================================
+kind       payload fields
+========== ===========================================================
+launch     ``key``, ``bid``, ``interval`` — spot group went live
+checkpoint ``key``, ``index`` — k-th checkpoint image written
+death      ``key``, ``saved`` — out-of-bid termination
+complete   ``key``, ``productive`` — group finished the application
+fallback   ``hours``, ``cost`` — on-demand recovery started (key "ondemand")
+window     ``index``, ``t1``, ``cost``, ``gained`` — adaptive window done
+========== ===========================================================
+
+Every event carries an absolute ``time`` in trace hours.  Events derived
+from the same :class:`~repro.execution.results.RunResult` are identical
+no matter which replay path produced it — the scalar and the batched
+replay share :func:`derive_replay_events`, which is what makes
+"scalar and batched replay emit identical event streams" an invariant
+rather than a hope.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+#: The known event kinds (anything else is rejected at emit time).
+EVENT_KINDS = ("launch", "checkpoint", "death", "complete", "fallback", "window")
+
+
+@dataclass(frozen=True)
+class Event:
+    """One timestamped observation of the execution."""
+
+    kind: str
+    time: float  # absolute trace hours
+    key: str  # market key string, or "" for run-level events
+    data: tuple = ()  # sorted (name, value) pairs — hashable and comparable
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"kind": self.kind, "time": self.time}
+        if self.key:
+            out["key"] = self.key
+        out.update(dict(self.data))
+        return out
+
+
+class EventTrace:
+    """A bounded ring buffer of events with an optional JSONL sink.
+
+    ``capacity`` bounds memory (oldest events fall off); ``jsonl_path``
+    additionally appends every event as one JSON line, so long runs can
+    be audited offline without holding the full stream in memory.
+    """
+
+    def __init__(self, capacity: int = 65536, jsonl_path: Optional[str] = None):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._ring: deque[Event] = deque(maxlen=capacity)
+        self._jsonl_path = jsonl_path
+        self._sink = None
+        self.emitted = 0  # total events ever emitted (ring may have fewer)
+
+    def emit(self, kind: str, time: float, key: str = "", **data: Any) -> Event:
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {kind!r}; known: {EVENT_KINDS}")
+        event = Event(kind, float(time), key, tuple(sorted(data.items())))
+        self.append(event)
+        return event
+
+    def append(self, event: Event) -> None:
+        self._ring.append(event)
+        self.emitted += 1
+        if self._jsonl_path is not None:
+            if self._sink is None:
+                self._sink = open(self._jsonl_path, "a")
+            json.dump(event.to_dict(), self._sink)
+            self._sink.write("\n")
+
+    def extend(self, events: Iterable[Event]) -> None:
+        for event in events:
+            self.append(event)
+
+    def events(self) -> list[Event]:
+        return list(self._ring)
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        return [e.to_dict() for e in self._ring]
+
+    def clear(self) -> None:
+        self._ring.clear()
+
+    def close(self) -> None:
+        if self._sink is not None:
+            self._sink.close()
+            self._sink = None
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __enter__(self) -> "EventTrace":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def derive_replay_events(problem, decision, result) -> list[Event]:
+    """The canonical event stream of one replayed decision.
+
+    Derived purely from the :class:`RunResult` (records + ledger), so the
+    scalar and the batched replay — which produce bit-identical results —
+    necessarily produce identical streams.  Events appear in decision
+    order per group (launch, checkpoints, death/complete), followed by
+    the run-level fallback event if the on-demand recovery ran.
+    """
+    from ..execution.replay import checkpoint_write_times
+
+    events: list[Event] = []
+    for gd, rec in zip(decision.groups, result.group_records):
+        spec = problem.groups[gd.group_index]
+        key = str(spec.key)
+        if rec.launched:
+            events.append(
+                Event(
+                    "launch",
+                    rec.launch_time,
+                    key,
+                    (("bid", rec.bid), ("interval", rec.interval)),
+                )
+            )
+            for k, t_write in enumerate(
+                checkpoint_write_times(spec, rec.interval, rec)
+            ):
+                events.append(Event("checkpoint", t_write, key, (("index", k),)))
+        if rec.terminated:
+            events.append(
+                Event("death", rec.end_time, key, (("saved", rec.saved),))
+            )
+        if rec.completed:
+            events.append(
+                Event(
+                    "complete",
+                    rec.end_time,
+                    key,
+                    (("productive", rec.productive),),
+                )
+            )
+    if decision.groups and result.completed_by == "ondemand":
+        od_start = result.start_time + result.makespan - result.ondemand_hours
+        events.append(
+            Event(
+                "fallback",
+                od_start,
+                "ondemand",
+                (
+                    ("cost", result.ledger.total("ondemand")),
+                    ("hours", result.ondemand_hours),
+                ),
+            )
+        )
+    return events

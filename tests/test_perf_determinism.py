@@ -7,12 +7,14 @@ the seed implementation paths.  These tests hold that claim down:
 * cached vs cache-disabled planning → identical plans,
 * pruned vs unpruned subset search → identical winner and counts,
 * batched vs scalar replay → identical RunResults field by field,
-* `jobs` > 1 vs serial Monte-Carlo → identical summaries.
+* `jobs` > 1 vs serial Monte-Carlo → identical summaries,
+* observability (tracing + audit) on vs off → identical RunResults.
 """
 
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.core.optimizer import SompiOptimizer, build_failure_models
 from repro.core.subset import exhaustive_subset_search
 from repro.core.two_level import TwoLevelOptimizer, clear_shared_caches
@@ -121,6 +123,45 @@ class TestBatchedReplayIdentical:
             ]
             for ra, rb in zip(a.group_records, b.group_records):
                 assert ra == rb
+
+
+class TestObservabilityTransparent:
+    def test_observability_off_is_bit_identical(self, env, planned):
+        """The repro.obs layer observes results on the way out; it must
+        never perturb them.  Replays with tracing and audit fully on are
+        compared field by field against plain replays (DESIGN.md §7)."""
+        problem, plan = planned
+        starts = sample_start_times(
+            problem, plan.decision, env.history, 60,
+            env.rng.fresh("det-obs"), t_min=env.train_end,
+        )
+        plain = [
+            replay_decision(problem, plan.decision, env.history, float(t))
+            for t in starts
+        ]
+        with obs.audited(), obs.tracing():
+            observed = [
+                replay_decision(problem, plan.decision, env.history, float(t))
+                for t in starts
+            ]
+            observed_batch = replay_batch(
+                problem, plan.decision, env.history, starts
+            )
+        for a, b, c in zip(plain, observed, observed_batch):
+            for other in (b, c):
+                assert a.start_time == other.start_time
+                assert a.cost == other.cost
+                assert a.makespan == other.makespan
+                assert a.completed_by == other.completed_by
+                assert a.ondemand_hours == other.ondemand_hours
+                assert tuple(a.group_records) == tuple(other.group_records)
+                assert [
+                    (i.category, i.description, i.dollars)
+                    for i in a.ledger.items
+                ] == [
+                    (i.category, i.description, i.dollars)
+                    for i in other.ledger.items
+                ]
 
 
 class TestParallelMcIdentical:

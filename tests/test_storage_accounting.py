@@ -4,7 +4,12 @@ import pytest
 
 from repro.cloud.instance_types import get_instance_type
 from repro.core.problem import Decision, GroupDecision, OnDemandOption, Problem
-from repro.execution.replay import checkpoint_storage_cost, replay_decision
+from repro.execution.replay import (
+    checkpoint_storage_cost,
+    checkpoint_write_times,
+    replay_decision,
+)
+from repro.execution.results import GroupRunRecord
 from repro.market.history import SpotPriceHistory
 from repro.market.trace import SpotPriceTrace
 from repro.units import BYTES_PER_GB
@@ -75,6 +80,51 @@ class TestAccounting:
             problem, d, result.group_records, run_end=result.makespan
         )
         assert cost > 0
+
+
+def _record(launch=0.0, n_ckpt=1, interval=10.0):
+    return GroupRunRecord(
+        key=make_group().key, bid=0.1, interval=interval, launched=True,
+        launch_time=launch, end_time=20.0, terminated=False, completed=True,
+        productive=6.0, saved=6.0, n_checkpoints=n_ckpt, spot_cost=0.0,
+    )
+
+
+class TestCheckpointTimeline:
+    """The replay checkpoints every ``min(interval, work) + O`` hours;
+    the storage timeline must use that cycle, not the raw interval."""
+
+    def test_cycle_capped_at_remaining_work(self):
+        spec = make_group(exec_time=6.0, overhead=0.5)
+        # interval 10 > work 6: the replay would checkpoint at 6.5, and
+        # the drifted raw-interval timeline said 10.5.
+        assert checkpoint_write_times(spec, 10.0, _record()) == [6.5]
+
+    def test_fraction_done_shortens_the_cycle(self):
+        spec = make_group(exec_time=6.0, overhead=0.5)
+        # Half the work is banked: remaining work 3 caps the cycle at 3.5.
+        times = checkpoint_write_times(
+            spec, 4.0, _record(launch=2.0, n_ckpt=2), fraction_done=0.5
+        )
+        assert times == pytest.approx([5.5, 9.0])
+
+    def test_interval_below_work_unchanged(self):
+        spec = make_group(exec_time=6.0, overhead=0.5)
+        times = checkpoint_write_times(spec, 2.0, _record(n_ckpt=2, interval=2.0))
+        assert times == pytest.approx([2.5, 5.0])
+
+    def test_never_launched_or_zero_checkpoints_empty(self):
+        spec = make_group(exec_time=6.0, overhead=0.5)
+        assert checkpoint_write_times(spec, 2.0, _record(n_ckpt=0)) == []
+
+    def test_storage_cost_uses_capped_cycle(self):
+        problem, _ = setup(image_gb=45.0)
+        d = Decision(groups=(GroupDecision(0, 0.1, 10.0),), ondemand_index=0)
+        cost = checkpoint_storage_cost(
+            problem, d, [_record()], run_end=8.0
+        )
+        # One image written at 6.5 (not 10.5), alive until 8.0.
+        assert cost == pytest.approx(45.0 * 1.5 * 0.03 / 730.0)
 
 
 class TestPaperClaim:
