@@ -2,15 +2,18 @@
 
 Run with ``make bench`` or ``PYTHONPATH=src python -m benchmarks.perf``.
 
-Two suites, each emitting one JSON file at the repository root so the
+Three suites, each emitting one JSON file at the repository root so the
 perf trajectory is tracked across PRs:
 
 * :mod:`.planning` → ``BENCH_planning.json`` — failure-model fitting,
   per-group table construction, the two-level subset search, and one
-  full quick experiment, each timed on the seed (cache-off) path and on
-  the optimized (cached + pruned) path.
+  full quick experiment, timed on the seed (cache-off) path, the cold
+  cache-on path (the guarded one), and the warm cache-on path.
 * :mod:`.replay` → ``BENCH_replay.json`` — Monte-Carlo replay
-  throughput (replays/sec), scalar loop vs batched replay.
+  throughput (replays/sec), scalar loop vs batched replay, for both
+  single-shot and persistent request semantics.
+* :mod:`.market` → ``BENCH_market.json`` — trace-generation throughput
+  (grid steps/sec), scalar reference kernel vs event-level sampler.
 
 The writer refuses to overwrite an existing file when a primary metric
 regressed by more than 20% unless ``--force`` is given (see

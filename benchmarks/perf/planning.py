@@ -1,15 +1,22 @@
 """Planning-pipeline benchmark: failure models, tables, subset search.
 
-Times the same planning workload twice:
+Times the same planning workload three ways:
 
 * **seed path** — per-bid failure-model memoisation off, shared group
   tables off (``table_cache=False``): what the code did before the
   performance layer.
-* **optimized path** — all caches on, starting cold (shared caches are
-  cleared first), exactly as the experiments run it.
+* **cold path** — all caches on but starting empty (shared caches are
+  cleared first): the first plan of a fresh process, exactly as the
+  experiments run it.  The regression guard (``primary``) watches this
+  one — cache *population* overhead must never make a cold plan slower
+  than the seed path.
+* **warm path** — all caches primed: the fig5/fig7/param-study regime
+  where later plans reuse the models and tables earlier ones built.
 
-Both paths produce identical plans (asserted here), so the ratio is a
-pure speed measurement.
+Every timing is the best of ``_REPEATS`` runs, so one scheduler hiccup
+cannot fake a regression (a single-shot cold measurement once recorded
+a spurious 0.93x "speedup").  All paths produce identical plans
+(asserted here), so the ratios are pure speed measurements.
 """
 
 from __future__ import annotations
@@ -27,6 +34,9 @@ _FULL_CASES = [
     ("LU", 1.5), ("FT", 1.05), ("IS", 1.5),
 ]
 _QUICK_CASES = _FULL_CASES[:3]
+
+#: Timings are the best of this many runs (noise floor, not average).
+_REPEATS = 3
 
 
 def _plan_all(env: ExperimentEnv, cases, cached: bool, model_sets=None):
@@ -66,16 +76,33 @@ def run(quick: bool = False) -> dict:
     cases = _QUICK_CASES if quick else _FULL_CASES
     env = ExperimentEnv.paper_default()
 
-    clear_shared_caches()
-    seed_plans, seed_s, combos = _plan_all(env, cases, cached=False)
+    def seed_pass():
+        clear_shared_caches()
+        return _plan_all(env, cases, cached=False)
+
+    def cold_pass():
+        clear_shared_caches()
+        return _plan_all(env, cases, cached=True)
+
+    seed_plans, seed_s, combos = min(
+        (seed_pass() for _ in range(_REPEATS)), key=lambda r: r[1]
+    )
+    cold_plans, cold_s, _ = min(
+        (cold_pass() for _ in range(_REPEATS)), key=lambda r: r[1]
+    )
+    # Warm pass: prime the shared caches once, then time reuse.
     clear_shared_caches()
     shared_models: dict = {}
-    opt_plans, opt_s, _ = _plan_all(env, cases, cached=True, model_sets=shared_models)
-    # Warm pass: the fig5/fig7/param-study regime where later plans reuse
-    # the models and tables the earlier ones built.
-    _, warm_s, _ = _plan_all(env, cases, cached=True, model_sets=shared_models)
+    _plan_all(env, cases, cached=True, model_sets=shared_models)
+    _, warm_s, _ = min(
+        (
+            _plan_all(env, cases, cached=True, model_sets=shared_models)
+            for _ in range(_REPEATS)
+        ),
+        key=lambda r: r[1],
+    )
 
-    for a, b in zip(seed_plans, opt_plans):
+    for a, b in zip(seed_plans, cold_plans):
         assert a.expectation == b.expectation, "cached plan diverged from seed"
         assert a.decision == b.decision, "cached plan diverged from seed"
 
@@ -90,18 +117,21 @@ def run(quick: bool = False) -> dict:
         "metrics": {
             "plan_pipeline": {
                 "seed_s": round(seed_s, 4),
-                "optimized_s": round(opt_s, 4),
+                "cold_s": round(cold_s, 4),
                 "warm_s": round(warm_s, 4),
-                "speedup": round(seed_s / opt_s, 2) if opt_s > 0 else None,
+                "speedup_cold": round(seed_s / cold_s, 2) if cold_s > 0 else None,
+                "speedup_warm": round(seed_s / warm_s, 2) if warm_s > 0 else None,
             },
             "subset_search": {
                 "combos_evaluated": combos,
-                "combos_per_s": round(combos / opt_s, 1) if opt_s > 0 else None,
+                "combos_per_s": round(combos / cold_s, 1) if cold_s > 0 else None,
             },
             "experiment_fig5": {
                 "n_samples": n_samples,
                 "optimized_s": round(fig5_s, 4),
             },
         },
-        "primary": {"name": "plan_pipeline.optimized_s", "seconds": opt_s},
+        # Guard the cold path: it is the one that regresses when cache
+        # population gets expensive (warm hides that entirely).
+        "primary": {"name": "plan_pipeline.cold_s", "seconds": cold_s},
     }

@@ -87,11 +87,26 @@ _EXACT_EVAL_CACHE: dict = {}
 _EXACT_EVAL_CACHE_MAX = 65536
 
 
+# Other layers (e.g. the replay kernels' per-(trace, bid) index tables)
+# register their cache clearers here so clear_shared_caches() stays the
+# single switch for "drop every shared cache" without this module having
+# to import them (which would cycle).
+_EXTERNAL_CACHE_CLEARERS: list = []
+
+
+def register_cache_clearer(fn) -> None:
+    """Register a callable to be invoked by :func:`clear_shared_caches`."""
+    if fn not in _EXTERNAL_CACHE_CLEARERS:
+        _EXTERNAL_CACHE_CLEARERS.append(fn)
+
+
 def clear_shared_caches() -> None:
     """Drop every cross-instance planner cache (tests, memory pressure)."""
     _RAW_TABLE_CACHE.clear()
     _SUBSET_EVAL_CACHE.clear()
     _EXACT_EVAL_CACHE.clear()
+    for fn in _EXTERNAL_CACHE_CLEARERS:
+        fn()
 
 
 @dataclass
@@ -476,9 +491,14 @@ class TwoLevelOptimizer:
             if (
                 prune_above is not None
                 and objective == "cost"
-                and cache_key is None
                 and float(cost_spot.min()) >= prune_above
             ):
+                # Applies to cacheable batches too (lazy fill): the
+                # cache entry simply stays unfilled until some caller
+                # actually needs the full score vectors.  Skipping the
+                # grid products here was previously disabled when the
+                # batch was cacheable, which made the *cold* cache-on
+                # path measurably slower than the cache-off seed path.
                 continue
             surv_r = np.ones((batch.shape[0], _RATIO_GRID))
             prod_below_w = np.ones((batch.shape[0], _WALL_GRID))

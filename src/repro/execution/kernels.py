@@ -1,0 +1,236 @@
+"""Shared array kernels for batched trace replay.
+
+Everything the batched replay paths (:mod:`.batch_replay`) need to turn
+per-sample ``while`` loops into level-by-level array iteration lives
+here:
+
+* **Per-(trace, bid) index tables** — the ``searchsorted`` scaffolding
+  (segment times with a ``+inf`` sentinel, the below-bid mask, and the
+  next-launch / next-death segment indices) that resolves every
+  ``first_at_or_below`` / ``first_exceedance`` query in O(log n) instead
+  of an O(n) suffix scan.  The planner and the Monte-Carlo evaluator
+  replay the *same* (trace, bid) pairs thousands of times, so the tables
+  are promoted into a shared cache alongside the planner's group-table
+  caches: gated by ``config.table_cache`` semantics (callers pass
+  ``cache=False`` to opt out), cleared by
+  :func:`repro.core.two_level.clear_shared_caches`, and evicted
+  automatically when the trace is garbage collected.
+
+* **Vectorised checkpoint-timeline arithmetic** — elementwise versions
+  of :func:`repro.core.ckpt_math.checkpoints_completed`,
+  :func:`~repro.core.ckpt_math.total_wall` and
+  :func:`~repro.core.ckpt_math.progress_after_wall` with the identical
+  branch structure and float operations, so batched results are
+  bit-identical to the scalar loop they replace.  That bit-identity is
+  the hard contract of the whole kernel layer (DESIGN.md §8): same IEEE
+  ops in the same order, verified by the parity tests and the
+  :mod:`repro.obs` audit layer.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.two_level import register_cache_clearer
+from ..errors import TraceError
+
+
+# ----------------------------------------------------------------------
+# Per-(trace, bid) index tables
+# ----------------------------------------------------------------------
+
+@dataclass
+class TraceBidTables:
+    """Precomputed launch/death scaffolding for one (trace, bid) pair."""
+
+    times: np.ndarray  # segment start times
+    times_ext: np.ndarray  # times with +inf sentinel (index n = "never")
+    below: np.ndarray  # prices <= bid per segment
+    nxt_below_ext: np.ndarray  # smallest j >= i with prices[j] <= bid, else n
+    nxt_above_ext: np.ndarray  # smallest j >= i with prices[j] >  bid, else n
+
+    @property
+    def n_segments(self) -> int:
+        return int(self.below.size)
+
+
+def _next_index(mask: np.ndarray) -> np.ndarray:
+    """``out[i]`` = smallest ``j >= i`` with ``mask[j]``, else ``n``;
+    length ``n + 1`` so a query one past the end is the sentinel."""
+    n = mask.size
+    pos = np.where(mask, np.arange(n), n)
+    nxt = np.minimum.accumulate(pos[::-1])[::-1]
+    return np.concatenate([nxt, [n]])
+
+
+def _build_tables(trace, bid: float) -> TraceBidTables:
+    below = trace.prices <= bid
+    return TraceBidTables(
+        times=trace.times,
+        times_ext=np.concatenate([trace.times, [np.inf]]),
+        below=below,
+        nxt_below_ext=_next_index(below),
+        nxt_above_ext=_next_index(~below),
+    )
+
+
+# The cache is keyed by (id(trace), bid): traces are immutable value
+# objects but define __eq__ without __hash__, so identity is the right
+# key — and a weakref finalizer evicts the entry the moment the trace
+# dies, which means there are no invalidation rules to get wrong (a new
+# trace is a new identity, exactly like the planner's per-model caches).
+_TABLE_CACHE: dict[tuple[int, float], TraceBidTables] = {}
+_TABLE_FINALIZERS: dict[int, object] = {}
+
+
+def _evict_trace(trace_id: int) -> None:
+    _TABLE_FINALIZERS.pop(trace_id, None)
+    for key in [k for k in _TABLE_CACHE if k[0] == trace_id]:
+        del _TABLE_CACHE[key]
+
+
+def clear_table_cache() -> None:
+    """Drop every cached (trace, bid) table (tests, memory pressure)."""
+    _TABLE_CACHE.clear()
+    for fin in _TABLE_FINALIZERS.values():
+        fin.detach()
+    _TABLE_FINALIZERS.clear()
+
+
+register_cache_clearer(clear_table_cache)
+
+
+def table_cache_size() -> int:
+    return len(_TABLE_CACHE)
+
+
+def trace_tables(trace, bid: float, cache: bool = True) -> TraceBidTables:
+    """The (trace, bid) index tables, served from the shared cache.
+
+    ``cache=False`` recomputes from scratch (the ``config.table_cache``
+    opt-out); results are identical either way.
+    """
+    if not cache:
+        return _build_tables(trace, float(bid))
+    key = (id(trace), float(bid))
+    tables = _TABLE_CACHE.get(key)
+    if tables is None:
+        tables = _build_tables(trace, float(bid))
+        _TABLE_CACHE[key] = tables
+        if key[0] not in _TABLE_FINALIZERS:
+            _TABLE_FINALIZERS[key[0]] = weakref.finalize(
+                trace, _evict_trace, key[0]
+            )
+    return tables
+
+
+# ----------------------------------------------------------------------
+# Price integration (bit-identical to cloud.spot.integrate_price)
+# ----------------------------------------------------------------------
+
+def integrate_price_fast(trace, t0: float, t1: float) -> float:
+    """:func:`repro.cloud.spot.integrate_price` without the slice object.
+
+    ``integrate_price`` builds a validated :class:`SpotPriceTrace` for
+    the window and dots its prices with its segment durations; the
+    construction (list conversion, monotonicity / finiteness checks)
+    dominates the batched kernels' billing loops.  This computes the
+    same ``np.dot`` over the same float64 values — the window's segment
+    starts with ``times[0]`` replaced by ``t0`` and its ends terminated
+    by ``t1`` — so the result is bitwise equal.
+    """
+    if t1 < t0:
+        raise TraceError(f"integration bounds reversed: [{t0}, {t1}]")
+    if t0 == t1:
+        return 0.0
+    times = trace.times
+    if not (times[0] <= t0 and t1 <= trace.end_time):
+        raise TraceError(
+            f"slice [{t0}, {t1}) outside window "
+            f"[{trace.start_time}, {trace.end_time})"
+        )
+    lo = int(np.searchsorted(times, t0, side="right") - 1)
+    hi = int(np.searchsorted(times, t1, side="left"))
+    starts = times[lo:hi].copy()
+    starts[0] = t0
+    ends = np.append(times[lo + 1 : hi], t1)
+    return float(np.dot(trace.prices[lo:hi], ends - starts))
+
+
+def billed_cost_fast(trace, launch: float, end: float, interrupted: bool, policy) -> float:
+    """:func:`repro.cloud.spot.billed_spot_cost`, fast continuous path.
+
+    Continuous billing (granularity 0) delegates to
+    :func:`integrate_price_fast`; any hourly policy falls back to the
+    scalar ``billed_spot_cost`` (its per-hour price lookups are already
+    the exact semantics and are rare in the hot Monte-Carlo loops).
+    """
+    if getattr(policy, "granularity_hours", 0.0) == 0.0:
+        return integrate_price_fast(trace, launch, end)
+    from ..cloud.spot import billed_spot_cost
+
+    return billed_spot_cost(trace, launch, end, interrupted, policy)
+
+
+# ----------------------------------------------------------------------
+# Vectorised checkpoint-timeline arithmetic (bit-identical to ckpt_math)
+# ----------------------------------------------------------------------
+
+def checkpoints_completed_arr(
+    productive: np.ndarray, exec_time: np.ndarray, interval: np.ndarray
+) -> np.ndarray:
+    """Elementwise :func:`repro.core.ckpt_math.checkpoints_completed`.
+
+    Returns float counts (exact small integers); the scalar's ``while``
+    decrement loop becomes a masked decrement iterated to fixpoint,
+    which performs the identical comparisons in the identical order per
+    element.
+    """
+    k = np.floor(productive / interval + 1e-12)
+    while True:
+        over = (k >= 1.0) & (k * interval >= exec_time - 1e-12)
+        if not over.any():
+            return k
+        k = np.where(over, k - 1.0, k)
+
+
+def total_wall_arr(
+    exec_time: np.ndarray, interval: np.ndarray, overhead: float
+) -> np.ndarray:
+    """Elementwise :func:`repro.core.ckpt_math.total_wall`."""
+    k = checkpoints_completed_arr(exec_time, exec_time, interval)
+    return exec_time + overhead * k
+
+
+def progress_after_wall_arr(
+    wall: np.ndarray,
+    exec_time: np.ndarray,
+    interval: np.ndarray,
+    overhead: float,
+    done_wall: np.ndarray,
+    k_done: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Elementwise :func:`repro.core.ckpt_math.progress_after_wall`.
+
+    ``exec_time`` / ``interval`` may be scalars or per-element arrays
+    (the persistent kernel re-enters with per-sample remaining work);
+    ``done_wall`` / ``k_done`` are the matching precomputed completion
+    wall time and checkpoint count.  Identical branch structure and
+    float operations to the scalar, elementwise.
+    """
+    cycle = interval + overhead
+    k_full = np.floor(wall / cycle + 1e-12)
+    rem = wall - k_full * cycle
+    productive = np.where(
+        rem <= interval + 1e-12, k_full * interval + rem, (k_full + 1.0) * interval
+    )
+    productive = np.minimum(productive, exec_time)
+    saved = np.minimum(k_full * interval, productive)
+    done = wall >= done_wall - 1e-12
+    productive = np.where(done, exec_time, productive)
+    saved = np.where(done, exec_time, saved)
+    n_ckpt = np.where(done, k_done, k_full).astype(np.int64)
+    return productive, saved, n_ckpt

@@ -6,13 +6,14 @@ simulation [many] times and calculate the expected cost."  Replays are
 independent given the starting points, which are drawn uniformly from
 the part of the history that leaves room for the replay horizon.
 
-Execution strategy: single-shot replays are batched through
-:mod:`.batch_replay` (bit-identical to the scalar loop, see that
-module); persistent-semantics replays stay on the scalar path.  Both
-accept ``jobs`` to fan the pre-drawn starting points out over worker
-processes — the starts are drawn *before* chunking and the chunk results
-are concatenated in order, so the output is byte-identical to a serial
-run regardless of ``jobs``.
+Execution strategy: every spot-using replay — single-shot *and*
+persistent, either billing policy, with or without storage accounting —
+is batched through :mod:`.batch_replay` (bit-identical to the scalar
+loop, see that module); only pure on-demand decisions take the trivial
+scalar path.  Both accept ``jobs`` to fan the pre-drawn starting points
+out over worker processes — the starts are drawn *before* chunking and
+the chunk results are concatenated in order, so the output is
+byte-identical to a serial run regardless of ``jobs``.
 """
 
 from __future__ import annotations
@@ -22,6 +23,7 @@ from typing import Optional
 import numpy as np
 
 from .. import obs
+from ..cloud.billing import BillingPolicy, CONTINUOUS
 from ..core.problem import Decision, Problem
 from ..errors import TraceError
 from ..market.history import SpotPriceHistory
@@ -87,15 +89,22 @@ def _replay_chunk(
     starts: np.ndarray,
     horizon: Optional[float],
     semantics: str,
+    billing: BillingPolicy = CONTINUOUS,
+    account_storage: bool = False,
 ) -> list[RunResult]:
     """Replay one chunk of starting points (module-level so worker
     processes can import it)."""
-    if semantics == "single-shot" and decision.groups:
-        return replay_batch(problem, decision, history, starts, horizon=horizon)
+    if decision.groups:
+        return replay_batch(
+            problem, decision, history, starts, horizon=horizon,
+            semantics=semantics, billing=billing,
+            account_storage=account_storage,
+        )
     return [
         replay_decision(
             problem, decision, history, float(t), horizon=horizon,
-            semantics=semantics,
+            semantics=semantics, billing=billing,
+            account_storage=account_storage,
         )
         for t in starts
     ]
@@ -109,6 +118,8 @@ def _replay_starts(
     horizon: Optional[float],
     semantics: str,
     jobs: Optional[int],
+    billing: BillingPolicy = CONTINUOUS,
+    account_storage: bool = False,
 ) -> list[RunResult]:
     if jobs is not None and jobs > 1 and starts.size > 1:
         from concurrent.futures import ProcessPoolExecutor
@@ -119,14 +130,17 @@ def _replay_starts(
             futures = [
                 pool.submit(
                     _replay_chunk, problem, decision, history, chunk,
-                    horizon, semantics,
+                    horizon, semantics, billing, account_storage,
                 )
                 for chunk in chunks
             ]
             for future in futures:  # submission order == start order
                 results.extend(future.result())
         return results
-    return _replay_chunk(problem, decision, history, starts, horizon, semantics)
+    return _replay_chunk(
+        problem, decision, history, starts, horizon, semantics, billing,
+        account_storage,
+    )
 
 
 def evaluate_decision_mc(
@@ -140,11 +154,15 @@ def evaluate_decision_mc(
     t_min: Optional[float] = None,
     semantics: str = "single-shot",
     jobs: Optional[int] = None,
+    billing: BillingPolicy = CONTINUOUS,
+    account_storage: bool = False,
 ) -> MonteCarloSummary:
     """Expected cost/time of ``decision`` over random starting points.
 
     ``jobs > 1`` replays chunks of starts in worker processes; the
     summary is byte-identical to the serial run for the same ``rng``.
+    ``billing`` / ``account_storage`` select the billing policy and the
+    checkpoint-storage accounting of every replay.
     """
     deadline = problem.deadline if deadline is None else deadline
     metrics = obs.get_metrics()
@@ -155,7 +173,8 @@ def evaluate_decision_mc(
     )
     with metrics.timer("mc.replay"):
         results = _replay_starts(
-            problem, decision, history, starts, horizon, semantics, jobs
+            problem, decision, history, starts, horizon, semantics, jobs,
+            billing, account_storage,
         )
     return MonteCarloSummary.from_results(results, deadline)
 
@@ -170,11 +189,14 @@ def replay_many(
     t_min: Optional[float] = None,
     semantics: str = "single-shot",
     jobs: Optional[int] = None,
+    billing: BillingPolicy = CONTINUOUS,
+    account_storage: bool = False,
 ) -> list[RunResult]:
     """Raw replay results (for distribution plots and variance studies)."""
     starts = sample_start_times(
         problem, decision, history, n_samples, rng, horizon, t_min
     )
     return _replay_starts(
-        problem, decision, history, starts, horizon, semantics, jobs
+        problem, decision, history, starts, horizon, semantics, jobs,
+        billing, account_storage,
     )

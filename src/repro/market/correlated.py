@@ -57,15 +57,27 @@ def sample_surges(
 ) -> list[RegionSurge]:
     """Poisson surge process over ``[0, duration_hours)``."""
     check_positive("duration_hours", duration_hours)
-    n = rng.poisson(rate_per_hour * duration_hours)
-    surges = []
-    for _ in range(n):
-        start = float(rng.uniform(0.0, duration_hours))
-        dur = float(max(0.25, rng.exponential(mean_duration)))
-        severity = float(severity_median * np.exp(severity_sigma * rng.standard_normal()))
-        surges.append(RegionSurge(start, min(dur, duration_hours - start), severity))
-    surges.sort(key=lambda s: s.start)
-    return surges
+    n = int(rng.poisson(rate_per_hour * duration_hours))
+    if n == 0:
+        return []
+    draws = np.empty((n, 3))
+    for i in range(n):
+        # The three draws stay scalar and interleaved: exponential and
+        # standard_normal use the ziggurat and consume a variable number
+        # of stream values, so batching each column would reorder the
+        # RNG stream and change every seeded surge set.  Only the
+        # arithmetic below is vectorised.
+        draws[i, 0] = rng.uniform(0.0, duration_hours)
+        draws[i, 1] = rng.exponential(mean_duration)
+        draws[i, 2] = rng.standard_normal()
+    starts = draws[:, 0]
+    durs = np.minimum(np.maximum(0.25, draws[:, 1]), duration_hours - starts)
+    sevs = severity_median * np.exp(severity_sigma * draws[:, 2])
+    order = np.argsort(starts, kind="stable")
+    return [
+        RegionSurge(float(starts[i]), float(durs[i]), float(sevs[i]))
+        for i in order
+    ]
 
 
 def overlay_price_floor(
@@ -82,23 +94,21 @@ def overlay_price_floor(
     hi = min(end, trace.end_time)
     if hi <= lo:
         return trace
-    times = list(trace.times)
-    prices = list(trace.prices)
+    times = trace.times
+    prices = trace.prices
     # Split segments at lo and hi, then raise everything inside.
     for cut in (lo, hi):
         if cut < trace.end_time and cut not in times:
             idx = int(np.searchsorted(times, cut, side="right") - 1)
-            times.insert(idx + 1, cut)
-            prices.insert(idx + 1, prices[idx])
-    new_prices = [
-        max(p, floor) if lo <= t < hi else p for t, p in zip(times, prices)
-    ]
-    out = SpotPriceTrace(times, new_prices, trace.end_time)
+            times = np.insert(times, idx + 1, cut)
+            prices = np.insert(prices, idx + 1, prices[idx])
+    inside = (times >= lo) & (times < hi)
+    new_prices = np.where(inside, np.maximum(prices, floor), prices)
     # Re-compress equal adjacent segments introduced by the overlay.
-    keep = np.empty(out.times.size, dtype=bool)
+    keep = np.empty(times.size, dtype=bool)
     keep[0] = True
-    np.not_equal(out.prices[1:], out.prices[:-1], out=keep[1:])
-    return SpotPriceTrace(out.times[keep], out.prices[keep], out.end_time)
+    np.not_equal(new_prices[1:], new_prices[:-1], out=keep[1:])
+    return SpotPriceTrace(times[keep], new_prices[keep], trace.end_time)
 
 
 def build_correlated_history(

@@ -134,25 +134,32 @@ class RegimeSwitchingGenerator:
 
     # ------------------------------------------------------------------
     def _sample_grid(self, n: int) -> np.ndarray:
-        """Sample ``n`` grid prices from the two-regime chain."""
+        """Sample ``n`` grid prices from the two-regime chain.
+
+        Event-level walk over the pre-drawn arrays: constant stretches
+        (the vast majority of the grid — calm steps without a change,
+        and spike plateaus) are filled by array assignment, and Python
+        only touches the O(event-count) change points.  Byte-identical
+        to :func:`_sample_grid_reference` under the same seed: the RNG
+        draws are the same five arrays in the same order, and every
+        price update applies the same float operations in the same
+        order — only the per-step bookkeeping of untouched steps is
+        replaced by slice fills.
+        """
         p = self.params
         rng = self.rng
         dt = p.repricing_interval
 
-        prices = np.empty(n)
         price = p.base_price * float(rng.uniform(0.9, 1.1))
-        in_spike = False
-        spike_left = 0.0
-        spike_price = price
 
         # Per-step event probabilities (grid is fine, so linearisation of
         # the exponential clock is accurate).
         p_spike = min(1.0, p.spike_rate * dt)
         p_change = min(1.0, p.calm_change_rate * dt)
 
-        # Draw all uniforms up front: ~3 vectorised draws instead of 3*n
-        # scalar ones (the generator is on the hot path of Monte-Carlo
-        # studies that regenerate markets per replication).
+        # Draw all randomness up front — one vectorised draw per array.
+        # The draw order is the RNG-stream contract shared with the
+        # reference implementation; never reorder it.
         u_spike = rng.random(n)
         u_change = rng.random(n)
         normals = rng.standard_normal(n)
@@ -161,26 +168,101 @@ class RegimeSwitchingGenerator:
         )
         spike_durs = rng.exponential(p.spike_duration_mean, size=n)
 
-        for k in range(n):
-            if in_spike:
-                spike_left -= dt
-                if spike_left <= 0.0:
-                    in_spike = False
-                    price = p.base_price * (1.0 + p.calm_volatility * normals[k])
-                else:
-                    price = spike_price
-            else:
-                if u_spike[k] < p_spike:
-                    in_spike = True
-                    spike_left = max(dt, spike_durs[k])
-                    spike_price = p.base_price * max(1.5, spike_mags[k])
-                    price = spike_price
-                elif u_change[k] < p_change:
-                    price = price * (1.0 + p.calm_volatility * normals[k])
-                    # Mean-revert gently so calm prices stay near base.
-                    price = 0.9 * price + 0.1 * p.base_price
-            prices[k] = max(PRICE_FLOOR, price)
+        prices = np.empty(n)
+        onsets = np.flatnonzero(u_spike < p_spike)
+        change = u_change < p_change
+        base = p.base_price
+        cv = p.calm_volatility
+        k = 0
+        while k < n:
+            pos = int(np.searchsorted(onsets, k))
+            onset = int(onsets[pos]) if pos < onsets.size else n
+            # Calm stretch [k, onset): the price moves only at flagged
+            # change steps (onset is the first spike candidate >= k, so
+            # every step in between is a calm step).
+            seg = k
+            for c in np.flatnonzero(change[k:onset]):
+                c = int(c) + k
+                if c > seg:
+                    prices[seg:c] = max(PRICE_FLOOR, price)
+                price = price * (1.0 + cv * normals[c])
+                # Mean-revert gently so calm prices stay near base.
+                price = 0.9 * price + 0.1 * base
+                seg = c
+            if onset > seg:
+                prices[seg:onset] = max(PRICE_FLOOR, price)
+            if onset >= n:
+                break
+            # Spike plateau starting at `onset`.  The reference decrements
+            # spike_left step by step, so the plateau length is found by
+            # the same sequential subtraction (a fused n_steps = ceil(...)
+            # could round differently at the boundary).
+            spike_price = base * max(1.5, spike_mags[onset])
+            left = max(dt, spike_durs[onset])
+            m = 1
+            e = -1
+            while onset + m < n:
+                left -= dt
+                if left <= 0.0:
+                    e = onset + m
+                    break
+                m += 1
+            if e < 0:
+                prices[onset:n] = max(PRICE_FLOOR, spike_price)
+                break
+            prices[onset:e] = max(PRICE_FLOOR, spike_price)
+            price = base * (1.0 + cv * normals[e])
+            prices[e] = max(PRICE_FLOOR, price)
+            k = e + 1
         return prices
+
+
+def _sample_grid_reference(params: SpotMarketParams, rng: np.random.Generator, n: int) -> np.ndarray:
+    """Scalar reference kernel for :meth:`RegimeSwitchingGenerator._sample_grid`.
+
+    One Python step per grid point, exactly as originally written.  Kept
+    as the bit-identity oracle for the event-level implementation: parity
+    tests and the market benchmark compare the two byte-for-byte under a
+    shared RNG state.
+    """
+    p = params
+    dt = p.repricing_interval
+
+    prices = np.empty(n)
+    price = p.base_price * float(rng.uniform(0.9, 1.1))
+    in_spike = False
+    spike_left = 0.0
+    spike_price = price
+
+    p_spike = min(1.0, p.spike_rate * dt)
+    p_change = min(1.0, p.calm_change_rate * dt)
+
+    u_spike = rng.random(n)
+    u_change = rng.random(n)
+    normals = rng.standard_normal(n)
+    spike_mags = p.spike_magnitude * np.exp(p.spike_sigma * rng.standard_normal(n))
+    spike_durs = rng.exponential(p.spike_duration_mean, size=n)
+
+    for k in range(n):
+        if in_spike:
+            spike_left -= dt
+            if spike_left <= 0.0:
+                in_spike = False
+                price = p.base_price * (1.0 + p.calm_volatility * normals[k])
+            else:
+                price = spike_price
+        else:
+            if u_spike[k] < p_spike:
+                in_spike = True
+                spike_left = max(dt, spike_durs[k])
+                spike_price = p.base_price * max(1.5, spike_mags[k])
+                price = spike_price
+            elif u_change[k] < p_change:
+                price = price * (1.0 + p.calm_volatility * normals[k])
+                # Mean-revert gently so calm prices stay near base.
+                price = 0.9 * price + 0.1 * p.base_price
+        prices[k] = max(PRICE_FLOOR, price)
+    return prices
 
 
 def generate_market(

@@ -28,7 +28,9 @@ class SpotPriceTrace:
         End of the observation window; must exceed ``times[-1]``.
     """
 
-    __slots__ = ("times", "prices", "end_time")
+    # __weakref__ lets the replay kernels key their shared per-(trace,
+    # bid) index tables on trace identity with weakref-based eviction.
+    __slots__ = ("times", "prices", "end_time", "__weakref__")
 
     def __init__(
         self,

@@ -1,0 +1,283 @@
+"""Bit-identity of the batched kernels against their scalar references.
+
+The kernel layer's hard contract (DESIGN.md §8) is that every batched
+path — single-shot and persistent spot semantics, hourly billing,
+checkpoint-storage accounting, the adaptive executor's window batching,
+and the event-level trace sampler — performs the identical IEEE
+operations in the identical order as the scalar code it replaced.
+These tests drive both sides on spiky generated markets and demand
+*exact* float equality (no tolerances anywhere), across multiple seeds
+and both billing policies, with the audit invariants switched on.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.cloud.billing import CONTINUOUS, HOURLY
+from repro.cloud.instance_types import get_instance_type
+from repro.core.problem import Decision, GroupDecision, OnDemandOption, Problem
+from repro.core.two_level import clear_shared_caches
+from repro.execution.adaptive import AdaptiveExecutor
+from repro.execution.batch_replay import replay_batch, replay_window_batch
+from repro.execution.kernels import table_cache_size
+from repro.execution.montecarlo import sample_start_times
+from repro.execution.replay import replay_decision, replay_window
+from repro.market.generator import (
+    RegimeSwitchingGenerator,
+    SpotMarketParams,
+    _sample_grid_reference,
+)
+from repro.market.history import MarketKey, SpotPriceHistory
+from repro.market.trace import SpotPriceTrace
+from repro.units import BYTES_PER_GB
+from tests.conftest import make_group
+
+SEEDS = (3, 17, 91)
+
+_SPIKY = SpotMarketParams(
+    base_price=0.05,
+    calm_volatility=0.08,
+    calm_change_rate=1.5,
+    spike_rate=0.12,
+    spike_magnitude=8.0,
+    spike_duration_mean=0.8,
+)
+_CALMER = SpotMarketParams(
+    base_price=0.04,
+    calm_change_rate=0.8,
+    spike_rate=0.05,
+    spike_duration_mean=1.5,
+)
+
+
+def spiky_setup(seed, image_gb=2.0):
+    """Two groups on generated spiky markets (deaths + relaunches)."""
+    g1 = make_group(exec_time=6.0, overhead=0.4, recovery=0.5, n_instances=2)
+    g2 = dataclasses.replace(
+        make_group(zone="us-east-1b", exec_time=6.0, overhead=0.3,
+                   recovery=0.4, n_instances=2),
+        image_bytes=image_gb * BYTES_PER_GB,
+    )
+    od = OnDemandOption(get_instance_type("c3.xlarge"), 8, 5.0)
+    problem = Problem(groups=(g1, g2), ondemand_options=(od,), deadline=40.0)
+    h = SpotPriceHistory()
+    for key, params, sub in ((g1.key, _SPIKY, 0), (g2.key, _CALMER, 1)):
+        gen = RegimeSwitchingGenerator(
+            params, np.random.default_rng(1000 * seed + sub)
+        )
+        h.add(key, gen.generate(400.0))
+    decision = Decision(
+        groups=(GroupDecision(0, 0.075, 2.0), GroupDecision(1, 0.06, 1.5)),
+        ondemand_index=0,
+    )
+    return problem, decision, h
+
+
+def assert_runs_equal(a, b, ctx=""):
+    assert (a.start_time, a.cost, a.makespan, a.completed_by,
+            a.ondemand_hours) == (
+        b.start_time, b.cost, b.makespan, b.completed_by, b.ondemand_hours
+    ), ctx
+    assert tuple(a.group_records) == tuple(b.group_records), ctx
+    assert a.ledger.items == b.ledger.items, ctx
+
+
+class TestReplayBatchParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("billing", [CONTINUOUS, HOURLY],
+                             ids=["continuous", "hourly"])
+    @pytest.mark.parametrize("semantics", ["single-shot", "persistent"])
+    @pytest.mark.parametrize("account_storage", [False, True],
+                             ids=["nostorage", "storage"])
+    def test_batch_matches_scalar(self, seed, billing, semantics,
+                                  account_storage):
+        problem, decision, h = spiky_setup(seed)
+        starts = sample_start_times(
+            problem, decision, h, 12, np.random.default_rng(seed)
+        )
+        scalar = [
+            replay_decision(
+                problem, decision, h, float(t), semantics=semantics,
+                billing=billing, account_storage=account_storage,
+            )
+            for t in starts
+        ]
+        batch = replay_batch(
+            problem, decision, h, starts, semantics=semantics,
+            billing=billing, account_storage=account_storage,
+        )
+        assert len(batch) == len(scalar)
+        for a, b in zip(scalar, batch):
+            assert_runs_equal(a, b, f"{seed}/{billing}/{semantics}")
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("persistent", [False, True],
+                             ids=["single-shot", "persistent"])
+    def test_window_batch_matches_scalar(self, seed, persistent):
+        problem, decision, h = spiky_setup(seed)
+        t0s = np.random.default_rng(seed).uniform(0.0, 350.0, 8)
+        outcomes = replay_window_batch(
+            problem, decision, h, t0s, t0s + 20.0, persistent=persistent
+        )
+        for t0, got in zip(t0s, outcomes):
+            want = replay_window(
+                problem, decision, h, float(t0), float(t0) + 20.0,
+                persistent=persistent,
+            )
+            assert got == want
+
+    def test_audit_invariants_hold_on_batch_paths(self):
+        problem, decision, h = spiky_setup(SEEDS[0])
+        starts = sample_start_times(
+            problem, decision, h, 10, np.random.default_rng(0)
+        )
+        with obs.audited():
+            for semantics in ("single-shot", "persistent"):
+                for billing in (CONTINUOUS, HOURLY):
+                    replay_batch(
+                        problem, decision, h, starts, semantics=semantics,
+                        billing=billing, account_storage=True,
+                    )
+
+
+class TestAdaptiveBatchParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("semantics", ["single-shot", "persistent"])
+    def test_run_many_matches_fresh_executors(self, seed, semantics,
+                                              small_env):
+        problem, decision, h = spiky_setup(seed)
+        cfg = small_env.config.with_(window_hours=8.0)
+        starts = [80.0 + 7.0 * i for i in range(4)]
+        batched = AdaptiveExecutor(
+            problem, h, cfg, semantics=semantics, account_storage=True
+        ).run_many(starts)
+        for t0, got in zip(starts, batched):
+            want = AdaptiveExecutor(
+                problem, h, cfg, semantics=semantics, account_storage=True
+            ).run(t0)
+            assert (got.cost, got.makespan, got.completed,
+                    got.fallback_used) == (
+                want.cost, want.makespan, want.completed, want.fallback_used
+            )
+            assert got.windows == want.windows
+            assert got.ledger.items == want.ledger.items
+
+    def test_run_many_audited(self, small_env):
+        problem, decision, h = spiky_setup(SEEDS[1])
+        cfg = small_env.config.with_(window_hours=8.0)
+        with obs.audited():
+            results = AdaptiveExecutor(problem, h, cfg).run_many(
+                [60.0, 120.0, 200.0]
+            )
+        assert len(results) == 3
+
+
+class TestGeneratorParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("params", [
+        _SPIKY,
+        _CALMER,
+        SpotMarketParams(base_price=0.07, spike_rate=0.0),
+        SpotMarketParams(base_price=0.07, calm_change_rate=0.0),
+        SpotMarketParams(base_price=0.05, spike_rate=2.0,
+                         spike_duration_mean=0.05, calm_volatility=0.2),
+    ], ids=["spiky", "calmer", "no-spikes", "no-changes", "dense-spikes"])
+    def test_event_level_sampler_byte_identical(self, seed, params):
+        for n in (1, 3, 500, 6000):
+            vec = RegimeSwitchingGenerator(
+                params, np.random.default_rng(seed)
+            )._sample_grid(n)
+            ref = _sample_grid_reference(
+                params, np.random.default_rng(seed), n
+            )
+            assert vec.tobytes() == ref.tobytes()
+
+
+class TestCorrelatedParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_sample_surges_matches_scalar_reference(self, seed):
+        from repro.market.correlated import RegionSurge, sample_surges
+
+        def reference(duration_hours, rng):
+            n = rng.poisson(0.05 * duration_hours)
+            surges = []
+            for _ in range(n):
+                start = float(rng.uniform(0.0, duration_hours))
+                dur = float(max(0.25, rng.exponential(3.0)))
+                severity = float(8.0 * np.exp(0.5 * rng.standard_normal()))
+                surges.append(
+                    RegionSurge(start, min(dur, duration_hours - start),
+                                severity)
+                )
+            surges.sort(key=lambda s: s.start)
+            return surges
+
+        got = sample_surges(
+            600.0, np.random.default_rng(seed), rate_per_hour=0.05
+        )
+        want = reference(600.0, np.random.default_rng(seed))
+        assert got == want
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_overlay_floor_matches_scalar_reference(self, seed):
+        from repro.market.correlated import overlay_price_floor
+
+        r = np.random.default_rng(seed)
+        t = np.sort(r.uniform(0.0, 100.0, 30))
+        t[0] = 0.0
+        trace = SpotPriceTrace(t, r.uniform(0.01, 1.0, 30), 100.0)
+        for s, e, f in [(10.0, 25.0, 0.6), (-5.0, 4.0, 0.3),
+                        (90.0, 150.0, 2.0), (0.0, 100.0, 0.5),
+                        (float(t[4]), float(t[9]), 0.8)]:
+            got = overlay_price_floor(trace, s, e, f)
+            lo, hi = max(s, 0.0), min(e, 100.0)
+            times = list(trace.times)
+            prices = list(trace.prices)
+            for cut in (lo, hi):
+                if cut < trace.end_time and cut not in times:
+                    idx = int(np.searchsorted(times, cut, side="right") - 1)
+                    times.insert(idx + 1, cut)
+                    prices.insert(idx + 1, prices[idx])
+            want_p = [max(p, f) if lo <= tt < hi else p
+                      for tt, p in zip(times, prices)]
+            keep = [0] + [
+                k for k in range(1, len(times)) if want_p[k] != want_p[k - 1]
+            ]
+            assert got.times.tolist() == [times[k] for k in keep]
+            assert got.prices.tolist() == [want_p[k] for k in keep]
+            assert got.end_time == trace.end_time
+
+
+class TestTableCache:
+    def test_cache_on_off_parity_and_clearing(self):
+        problem, decision, h = spiky_setup(SEEDS[2])
+        starts = sample_start_times(
+            problem, decision, h, 8, np.random.default_rng(2)
+        )
+        clear_shared_caches()
+        assert table_cache_size() == 0
+        cached = replay_batch(problem, decision, h, starts, table_cache=True)
+        assert table_cache_size() > 0
+        uncached = replay_batch(
+            problem, decision, h, starts, table_cache=False
+        )
+        for a, b in zip(cached, uncached):
+            assert_runs_equal(a, b, "table_cache on/off")
+        clear_shared_caches()
+        assert table_cache_size() == 0
+
+    def test_tables_evicted_when_trace_collected(self):
+        clear_shared_caches()
+        from repro.execution.kernels import trace_tables
+
+        trace = SpotPriceTrace([0.0, 5.0], [0.05, 0.2], 50.0)
+        trace_tables(trace, 0.1)
+        assert table_cache_size() == 1
+        del trace
+        import gc
+
+        gc.collect()
+        assert table_cache_size() == 0
