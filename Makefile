@@ -1,10 +1,16 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test audit bench bench-full experiments quick
+.PHONY: test lint audit bench bench-full experiments quick
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+## reprolint static invariants (DESIGN.md §9): fails on any new
+## (non-baselined) finding; reprolint_baseline.json grandfathers the
+## documented exact float comparisons and nothing else.
+lint:
+	$(PYTHON) -m repro.analysis src --baseline reprolint_baseline.json
 
 ## Tier-1 tests with repro.obs audit mode on: every replay/adaptive
 ## result must reconcile against its cost ledger or the suite fails.

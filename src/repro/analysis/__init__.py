@@ -1,0 +1,41 @@
+"""reprolint — AST-based invariant linter for the reproduction.
+
+A self-contained static-analysis pass (stdlib ``ast`` only, no imports
+of the simulation code) that rejects whole classes of the bugs the
+runtime suites catch late or not at all: unseeded randomness in
+deterministic packages, unregistered memo caches, dollars-vs-hours unit
+mixing, vectorized kernels without scalar oracles/parity tests, bare
+float equality, and swallowed exceptions.  DESIGN.md §9 documents the
+rule set and workflow.
+
+Run it as ``python -m repro.analysis [paths]`` or ``make lint``.
+Programmatic entry points:
+
+>>> from repro.analysis import run_lint, get_rules, Baseline
+>>> result = run_lint(["src"], root=repo_root,
+...                   baseline=Baseline.load(baseline_path))
+>>> result.exit_code()
+0
+"""
+
+from .baseline import Baseline, BaselineEntry, DEFAULT_BASELINE_NAME
+from .engine import LintContext, LintResult, ModuleUnit, load_unit, run_lint
+from .findings import Finding, Severity
+from .registry import RULES, Rule, get_rules, register
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "DEFAULT_BASELINE_NAME",
+    "Finding",
+    "LintContext",
+    "LintResult",
+    "ModuleUnit",
+    "RULES",
+    "Rule",
+    "Severity",
+    "get_rules",
+    "load_unit",
+    "register",
+    "run_lint",
+]

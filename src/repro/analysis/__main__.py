@@ -1,0 +1,130 @@
+"""Command-line entry: ``python -m repro.analysis [paths...]``.
+
+Exit codes: 0 clean (modulo baseline), 1 findings (error severity, or
+anything under ``--strict``), 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from ..errors import ConfigurationError
+from .baseline import Baseline, DEFAULT_BASELINE_NAME
+from .engine import run_lint
+from .registry import get_rules
+from .reporters import report_json, report_rules, report_text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="reprolint: AST-based invariant linter (DESIGN.md §9)",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--root", type=Path, default=None,
+        help="project root for relative paths and the baseline "
+        "(default: current directory)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help=f"baseline file (default: <root>/{DEFAULT_BASELINE_NAME} "
+        "when it exists)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write current findings to the baseline file and exit "
+        "(reasons default to TODO markers that must be edited)",
+    )
+    parser.add_argument(
+        "--select", default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="warnings and stale baseline entries also fail the run",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="also print baselined findings",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="describe the registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    out = sys.stdout
+
+    try:
+        rules = get_rules(args.select.split(",") if args.select else None)
+    except KeyError as exc:
+        print(f"reprolint: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    if args.list_rules:
+        report_rules(rules, out)
+        return 0
+
+    root = (args.root or Path.cwd()).resolve()
+    baseline_path = args.baseline or (root / DEFAULT_BASELINE_NAME)
+    baseline = None
+    if not args.no_baseline and not args.write_baseline:
+        if baseline_path.is_file():
+            try:
+                baseline = Baseline.load(baseline_path)
+            except ConfigurationError as exc:
+                print(f"reprolint: {exc}", file=sys.stderr)
+                return 2
+        elif args.baseline is not None:
+            print(
+                f"reprolint: baseline {baseline_path} not found",
+                file=sys.stderr,
+            )
+            return 2
+
+    try:
+        result = run_lint(
+            [Path(p) for p in args.paths],
+            root=root,
+            rules=rules,
+            baseline=baseline,
+        )
+    except FileNotFoundError as exc:
+        print(f"reprolint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        Baseline.dump(result.findings, baseline_path)
+        print(
+            f"reprolint: wrote {len(result.findings)} entr(y/ies) to "
+            f"{baseline_path}; fill in the reasons before committing",
+            file=out,
+        )
+        return 0
+
+    if args.format == "json":
+        report_json(result, out)
+    else:
+        report_text(result, out, verbose=args.verbose)
+    return result.exit_code(strict=args.strict)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

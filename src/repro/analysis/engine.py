@@ -1,0 +1,223 @@
+"""Lint driver: file discovery, parsing, suppressions, rule dispatch.
+
+The engine is deliberately import-free of the hot simulation paths — it
+touches only ``ast``, ``pathlib`` and the sibling lint modules, so
+``make lint`` never pays (or perturbs) a model import.
+
+Suppressions
+------------
+A finding on line ``L`` is suppressed when line ``L`` — or a
+comment-only line ``L-1`` directly above it — carries::
+
+    # reprolint: disable=R001            -- optional reason
+    # reprolint: disable=R001,R005       -- multiple rules
+    # reprolint: disable=all
+
+``# reprolint: skip-file`` anywhere in a module skips it entirely.
+Suppressions are for *point* exemptions whose justification fits on the
+line; findings grandfathered wholesale live in the baseline file
+instead (:mod:`.baseline`).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .baseline import Baseline, BaselineEntry
+from .findings import Finding, Severity
+from .registry import Rule, get_rules
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s]+?)\s*(?:--.*)?$"
+)
+_SKIP_FILE_RE = re.compile(r"#\s*reprolint:\s*skip-file\b")
+_COMMENT_ONLY_RE = re.compile(r"^\s*#")
+
+#: Rule id used for findings the engine itself emits (unparseable file).
+PARSE_RULE = "R000"
+
+
+@dataclass
+class ModuleUnit:
+    """One parsed module plus its per-line suppression table."""
+
+    path: Path  # absolute
+    relpath: str  # posix, relative to the lint root
+    source: str
+    lines: List[str]
+    tree: ast.Module
+    suppressions: Dict[int, set]  # 1-based line -> {"R001", ...} or {"all"}
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """Inline suppression on the line or a comment line just above."""
+        for cand in (line, line - 1):
+            rules = self.suppressions.get(cand)
+            if not rules:
+                continue
+            if cand == line - 1 and not _COMMENT_ONLY_RE.match(
+                self.lines[cand - 1] if 1 <= cand <= len(self.lines) else ""
+            ):
+                continue  # trailing suppression governs its own line only
+            if "all" in rules or rule_id in rules:
+                return True
+        return False
+
+
+@dataclass
+class LintContext:
+    """Shared state rules may consult (project root, file cache)."""
+
+    root: Path
+    _file_cache: Dict[str, Optional[str]] = field(default_factory=dict)
+
+    def read_project_file(self, relpath: str) -> Optional[str]:
+        """Text of ``root/relpath``, or None when absent (cached)."""
+        if relpath not in self._file_cache:
+            p = self.root / relpath
+            self._file_cache[relpath] = (
+                p.read_text(encoding="utf-8") if p.is_file() else None
+            )
+        return self._file_cache[relpath]
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: List[Finding]  # new (non-baselined, non-suppressed), sorted
+    baselined: List[Finding]  # matched a baseline entry
+    stale_baseline: List[BaselineEntry]  # baseline entries nothing matched
+    files_checked: int = 0
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    def exit_code(self, strict: bool = False) -> int:
+        if self.errors or (strict and (self.findings or self.stale_baseline)):
+            return 1
+        return 0
+
+
+def _parse_suppressions(lines: Sequence[str]) -> Dict[int, set]:
+    table: Dict[int, set] = {}
+    for i, text in enumerate(lines, start=1):
+        m = _SUPPRESS_RE.search(text)
+        if not m:
+            continue
+        toks = {t for t in m.group(1).replace(" ", "").split(",") if t}
+        table[i] = {"all" if t.lower() == "all" else t.upper() for t in toks}
+    return table
+
+
+def load_unit(path: Path, root: Path) -> ModuleUnit:
+    """Parse one file into a :class:`ModuleUnit`.
+
+    Raises :class:`SyntaxError` when the file does not parse; the caller
+    converts that into an ``R000`` finding.
+    """
+    source = path.read_text(encoding="utf-8")
+    try:
+        relpath = path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        relpath = path.as_posix()
+    tree = ast.parse(source, filename=str(path))
+    lines = source.splitlines()
+    return ModuleUnit(
+        path=path,
+        relpath=relpath,
+        source=source,
+        lines=lines,
+        tree=tree,
+        suppressions=_parse_suppressions(lines),
+    )
+
+
+def discover(paths: Iterable[Path]) -> List[Path]:
+    """All ``*.py`` files under ``paths`` (files pass through), sorted."""
+    out: set = set()
+    for p in paths:
+        p = Path(p)
+        if p.is_file():
+            out.add(p)
+        elif p.is_dir():
+            for f in p.rglob("*.py"):
+                if "__pycache__" in f.parts:
+                    continue
+                if any(part.startswith(".") for part in f.parts[len(p.parts):]):
+                    continue
+                out.add(f)
+        else:
+            raise FileNotFoundError(f"lint target does not exist: {p}")
+    return sorted(out)
+
+
+def run_lint(
+    paths: Sequence[Path],
+    root: Optional[Path] = None,
+    rules: Optional[Sequence[Rule]] = None,
+    baseline: Optional[Baseline] = None,
+) -> LintResult:
+    """Lint ``paths`` and reconcile findings against ``baseline``."""
+    root = Path(root) if root is not None else Path.cwd()
+    rules = list(rules) if rules is not None else get_rules()
+    ctx = LintContext(root=root)
+    raw: List[Finding] = []
+    files = discover(paths)
+    for path in files:
+        try:
+            unit = load_unit(path, root)
+        except SyntaxError as exc:
+            relpath = path.as_posix()
+            raw.append(
+                Finding(
+                    rule=PARSE_RULE,
+                    severity=Severity.ERROR,
+                    path=relpath,
+                    line=exc.lineno or 1,
+                    col=exc.offset or 0,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+            continue
+        if _SKIP_FILE_RE.search(unit.source):
+            continue
+        for rule in rules:
+            if not rule.applies(unit.relpath):
+                continue
+            for finding in rule.check(unit, ctx):
+                if not unit.is_suppressed(finding.rule, finding.line):
+                    raw.append(finding)
+    raw.sort(key=lambda f: f.sort_key)
+
+    baseline = baseline or Baseline()
+    new: List[Finding] = []
+    matched: List[Finding] = []
+    for finding in raw:
+        if baseline.claim(finding):
+            matched.append(_rebuild_baselined(finding))
+        else:
+            new.append(finding)
+    return LintResult(
+        findings=new,
+        baselined=matched,
+        stale_baseline=baseline.unclaimed(),
+        files_checked=len(files),
+    )
+
+
+def _rebuild_baselined(finding: Finding) -> Finding:
+    return Finding(
+        rule=finding.rule,
+        severity=finding.severity,
+        path=finding.path,
+        line=finding.line,
+        col=finding.col,
+        message=finding.message,
+        code=finding.code,
+        baselined=True,
+    )

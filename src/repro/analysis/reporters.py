@@ -1,0 +1,59 @@
+"""Text and JSON reporters for lint results."""
+
+from __future__ import annotations
+
+import json
+from typing import IO
+
+from .engine import LintResult
+from .registry import Rule
+
+
+def report_text(result: LintResult, out: IO[str], verbose: bool = False) -> None:
+    """Human-oriented report: one ``path:line:col`` row per finding."""
+    for finding in result.findings:
+        print(finding.format(), file=out)
+    if verbose:
+        for finding in result.baselined:
+            print(finding.format(), file=out)
+    for entry in result.stale_baseline:
+        print(
+            f"{entry.path}: stale baseline entry for {entry.rule} "
+            f"({entry.code!r}) — the finding is gone; remove the entry",
+            file=out,
+        )
+    n_err = len(result.errors)
+    n_warn = len(result.findings) - n_err
+    print(
+        f"reprolint: {result.files_checked} files, "
+        f"{n_err} error(s), {n_warn} warning(s), "
+        f"{len(result.baselined)} baselined, "
+        f"{len(result.stale_baseline)} stale baseline entr(y/ies)",
+        file=out,
+    )
+
+
+def report_json(result: LintResult, out: IO[str]) -> None:
+    """Machine-oriented report (stable shape for CI tooling)."""
+    payload = {
+        "files_checked": result.files_checked,
+        "findings": [f.to_json() for f in result.findings],
+        "baselined": [f.to_json() for f in result.baselined],
+        "stale_baseline": [e.to_json() for e in result.stale_baseline],
+        "summary": {
+            "errors": len(result.errors),
+            "warnings": len(result.findings) - len(result.errors),
+            "baselined": len(result.baselined),
+            "stale": len(result.stale_baseline),
+        },
+    }
+    json.dump(payload, out, indent=2)
+    out.write("\n")
+
+
+def report_rules(rules: list[Rule], out: IO[str]) -> None:
+    """``--list-rules``: id, severity, title, description."""
+    for rule in rules:
+        print(f"{rule.id} [{rule.severity.value}] {rule.title}", file=out)
+        for line in rule.description.strip().splitlines():
+            print(f"    {line.strip()}", file=out)

@@ -1,0 +1,14 @@
+"""Rule modules register themselves on import (see ..registry).
+
+Adding a rule: create ``rNNN_name.py`` beside these, decorate the class
+with ``@register``, and import the module here.
+"""
+
+from . import (  # noqa: F401
+    r001_randomness,
+    r002_caches,
+    r003_units,
+    r004_parity,
+    r005_float_eq,
+    r006_exceptions,
+)

@@ -1,0 +1,107 @@
+"""R001 — no unseeded randomness in model/execution code.
+
+Every Monte-Carlo path in the reproduction must be a pure function of
+its seed (the bit-identity contracts of DESIGN.md §6–§8 depend on it),
+so the deterministic packages may only draw randomness through the
+seeded ``np.random.Generator`` plumbing (``sim.rng``).  The stdlib
+``random`` module, the legacy ``np.random.*`` global functions, and
+wall-clock reads (``time.time``, ``datetime.now``) are all banned.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..registry import Rule, in_packages, register
+
+#: Packages whose results must be a pure function of the seed.
+DETERMINISTIC_PACKAGES = ("core", "execution", "market", "mpi")
+
+#: ``np.random`` attributes that are part of the *seeded* API.
+ALLOWED_NP_RANDOM = frozenset(
+    {"Generator", "default_rng", "SeedSequence", "BitGenerator",
+     "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937"}
+)
+
+#: Dotted wall-clock reads that make results run-dependent.
+BANNED_CLOCK_ATTRS = frozenset(
+    {"time.time", "time.time_ns", "datetime.now", "datetime.utcnow",
+     "datetime.today", "date.today", "datetime.datetime.now",
+     "datetime.datetime.utcnow", "datetime.datetime.today",
+     "datetime.date.today"}
+)
+
+
+def _dotted(node: ast.AST) -> str:
+    """``a.b.c`` for a Name/Attribute chain, else ''."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+@register
+class NoUnseededRandomness(Rule):
+    id = "R001"
+    title = "no unseeded randomness or wall-clock reads in deterministic code"
+    description = (
+        "src/repro/{core,execution,market,mpi} must draw randomness only "
+        "through seeded np.random.Generator plumbing. Bans the stdlib "
+        "'random' module, np.random global functions (np.random.seed/"
+        "rand/normal/...), time.time and datetime.now — all of which "
+        "break the seeded bit-identity contract of the replay kernels."
+    )
+
+    def applies(self, relpath: str) -> bool:
+        return in_packages(relpath, DETERMINISTIC_PACKAGES)
+
+    def check(self, unit, ctx) -> Iterator[Finding]:
+        for node in ast.walk(unit.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self.finding(
+                            unit, node.lineno, node.col_offset,
+                            "stdlib 'random' is unseeded global state; use a "
+                            "seeded np.random.Generator (sim.rng)",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                mod = node.module or ""
+                if mod == "random":
+                    yield self.finding(
+                        unit, node.lineno, node.col_offset,
+                        "stdlib 'random' is unseeded global state; use a "
+                        "seeded np.random.Generator (sim.rng)",
+                    )
+                elif mod in ("numpy.random", "np.random"):
+                    for alias in node.names:
+                        if alias.name not in ALLOWED_NP_RANDOM:
+                            yield self.finding(
+                                unit, node.lineno, node.col_offset,
+                                f"numpy.random.{alias.name} is the unseeded "
+                                "global stream; use np.random.default_rng(seed)",
+                            )
+            elif isinstance(node, ast.Attribute):
+                dotted = _dotted(node)
+                if dotted in BANNED_CLOCK_ATTRS:
+                    yield self.finding(
+                        unit, node.lineno, node.col_offset,
+                        f"wall-clock read {dotted}() makes results "
+                        "run-dependent; thread times through arguments",
+                    )
+                    continue
+                head, _, attr = dotted.rpartition(".")
+                if head in ("np.random", "numpy.random") and (
+                    attr not in ALLOWED_NP_RANDOM
+                ):
+                    yield self.finding(
+                        unit, node.lineno, node.col_offset,
+                        f"{dotted} uses numpy's unseeded global stream; "
+                        "use np.random.default_rng(seed)",
+                    )

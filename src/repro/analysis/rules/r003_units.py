@@ -1,0 +1,97 @@
+"""R003 — units discipline over identifier suffix conventions.
+
+The two cost-accounting drifts fixed in PR 2 were both
+dollars-vs-hours confusions that type annotations (everything is
+``float``) could never catch.  This rule runs the lightweight
+dimensional pass of :mod:`._dims` over every addition, subtraction and
+comparison: when *both* operands carry a confident dimension
+(``_usd``/``cost_`` dollars, ``_hours`` hours, ``_s``/``_seconds``
+seconds) and the dimensions differ, adding or comparing them is
+meaningless and almost certainly a bug.  Multiplication and division
+are exempt — that is how rates and conversions legitimately work — and
+a function whose *name* declares a unit suffix must not return an
+expression of a conflicting dimension.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..findings import Finding
+from ..registry import Rule, register
+from ._dims import HOURS, MONEY, SECONDS, infer_dim
+
+_COMPARE_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+
+#: Function-name suffixes that pin the return dimension.
+_RETURN_SUFFIXES = {
+    "_usd": MONEY,
+    "_dollars": MONEY,
+    "_cost": MONEY,
+    "_hours": HOURS,
+    "_hrs": HOURS,
+    "_s": SECONDS,
+    "_seconds": SECONDS,
+}
+
+
+def _return_dim(func_name: str) -> Optional[str]:
+    for suffix, dim in _RETURN_SUFFIXES.items():
+        if func_name.endswith(suffix):
+            return dim
+    return None
+
+
+@register
+class UnitsDiscipline(Rule):
+    id = "R003"
+    title = "no additions/comparisons mixing dollars, hours and seconds"
+    description = (
+        "Infers dimensions from naming conventions (_usd/cost_ dollars, "
+        "_hours hours, _s/_seconds seconds) and flags +, - and "
+        "comparisons whose operands confidently disagree, plus functions "
+        "whose unit-suffixed name conflicts with what they return. "
+        "Rates like price_per_hour classify as unknown and never fire."
+    )
+
+    def check(self, unit, ctx) -> Iterator[Finding]:
+        for node in ast.walk(unit.tree):
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                left = infer_dim(node.left)
+                right = infer_dim(node.right)
+                if left is not None and right is not None and left != right:
+                    op = "+" if isinstance(node.op, ast.Add) else "-"
+                    yield self.finding(
+                        unit, node.lineno, node.col_offset,
+                        f"'{op}' mixes {left} and {right}; convert through "
+                        "repro.units before combining",
+                    )
+            elif isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+                for op, lhs, rhs in zip(node.ops, operands, operands[1:]):
+                    if not isinstance(op, _COMPARE_OPS):
+                        continue
+                    left = infer_dim(lhs)
+                    right = infer_dim(rhs)
+                    if left is not None and right is not None and left != right:
+                        yield self.finding(
+                            unit, node.lineno, node.col_offset,
+                            f"comparison mixes {left} and {right}; one side "
+                            "needs a repro.units conversion",
+                        )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                declared = _return_dim(node.name)
+                if declared is None:
+                    continue
+                for sub in ast.walk(node):
+                    if isinstance(sub, ast.Return) and sub.value is not None:
+                        got = infer_dim(sub.value)
+                        if got is not None and got != declared:
+                            yield self.finding(
+                                unit, sub.lineno, sub.col_offset,
+                                f"{node.name}() declares {declared} by suffix "
+                                f"but returns a {got}-dimensioned expression",
+                            )

@@ -1,0 +1,133 @@
+"""R004 — every vectorized kernel declares its scalar oracle + parity test.
+
+The kernel layer's hard contract (DESIGN.md §8) is bit-identity with
+the scalar code it replaces.  That contract is only as good as its
+coverage: a vectorized function with no declared scalar reference and
+no parity test is an unverified rewrite.  Each kernel module therefore
+carries a module-level ``KERNEL_ORACLES`` dict literal mapping every
+public vectorized function to the dotted path of its scalar reference,
+and every mapped function must be exercised by name in
+``tests/test_batch_parity.py``.  Non-kernel helpers (cache plumbing)
+opt out with an inline ``# reprolint: disable=R004`` and a reason.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional
+
+from ..findings import Finding
+from ..registry import Rule, register
+
+#: Modules bound by the kernel/oracle pairing contract.
+KERNEL_MODULES = (
+    "repro/execution/kernels.py",
+    "repro/execution/batch_replay.py",
+    "repro/market/correlated.py",
+)
+
+PARITY_TEST_FILE = "tests/test_batch_parity.py"
+
+_DOTTED_RE = re.compile(r"^[A-Za-z_][\w]*(\.[A-Za-z_][\w]*)+$")
+
+
+def _find_oracles(tree: ast.Module) -> Optional[ast.Dict]:
+    for node in tree.body:
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            names = [t.id for t in targets if isinstance(t, ast.Name)]
+            if "KERNEL_ORACLES" in names and isinstance(node.value, ast.Dict):
+                return node.value
+    return None
+
+
+@register
+class KernelOraclePairing(Rule):
+    id = "R004"
+    title = "vectorized kernels paired with scalar oracles and parity tests"
+    description = (
+        "execution/kernels.py, execution/batch_replay.py and "
+        "market/correlated.py must define KERNEL_ORACLES mapping each "
+        "public function to its scalar reference (dotted path); every "
+        "mapped kernel must appear in tests/test_batch_parity.py. "
+        "Unmapped public functions are unverified rewrites."
+    )
+
+    def applies(self, relpath: str) -> bool:
+        return any(relpath.endswith(mod) for mod in KERNEL_MODULES)
+
+    def check(self, unit, ctx) -> Iterator[Finding]:
+        oracles = _find_oracles(unit.tree)
+        if oracles is None:
+            yield self.finding(
+                unit, 1, 0,
+                "kernel module must declare KERNEL_ORACLES = "
+                "{'kernel_fn': 'scalar.reference.path', ...} as a dict "
+                "literal at module level",
+            )
+            return
+
+        declared: dict = {}
+        for key, value in zip(oracles.keys, oracles.values):
+            if not (
+                isinstance(key, ast.Constant) and isinstance(key.value, str)
+            ) or not (
+                isinstance(value, ast.Constant) and isinstance(value.value, str)
+            ):
+                yield self.finding(
+                    unit, oracles.lineno, oracles.col_offset,
+                    "KERNEL_ORACLES entries must be string-literal "
+                    "name -> dotted-path pairs",
+                )
+                continue
+            declared[key.value] = (value.value, key.lineno, key.col_offset)
+
+        public = {
+            node.name: node
+            for node in unit.tree.body
+            if isinstance(node, ast.FunctionDef)
+            and not node.name.startswith("_")
+        }
+
+        for name, node in public.items():
+            if name not in declared:
+                yield self.finding(
+                    unit, node.lineno, node.col_offset,
+                    f"public function {name}() has no scalar reference in "
+                    "KERNEL_ORACLES (declare its oracle, or mark it "
+                    "non-kernel with an inline disable and a reason)",
+                )
+
+        parity_src = ctx.read_project_file(PARITY_TEST_FILE)
+        if parity_src is None:
+            yield self.finding(
+                unit, 1, 0,
+                f"parity test file {PARITY_TEST_FILE} not found; kernel "
+                "oracle pairing cannot be verified",
+            )
+
+        for name, (oracle, line, col) in declared.items():
+            if name not in public:
+                yield self.finding(
+                    unit, line, col,
+                    f"KERNEL_ORACLES maps {name!r} but no public function "
+                    "of that name exists in this module",
+                )
+                continue
+            if not _DOTTED_RE.match(oracle):
+                yield self.finding(
+                    unit, line, col,
+                    f"scalar reference {oracle!r} for {name}() is not a "
+                    "dotted module path",
+                )
+            if parity_src is not None and not re.search(
+                rf"\b{re.escape(name)}\b", parity_src
+            ):
+                yield self.finding(
+                    unit, line, col,
+                    f"kernel {name}() has no matching parity test: the name "
+                    f"never appears in {PARITY_TEST_FILE}",
+                )

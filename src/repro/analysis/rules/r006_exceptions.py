@@ -1,0 +1,91 @@
+"""R006 — exception policy: no bare/swallowed handlers, raise library types.
+
+Spot-on (arXiv:2210.02589) traces several invalidated cost results to
+silently swallowed fault-handling errors.  The library's contract
+(``repro.errors``) is that every failure either propagates as a
+``ReproError`` subtype or is handled *specifically*:
+
+* ``except:`` is banned outright (it eats ``KeyboardInterrupt``).
+* ``except Exception`` (or ``BaseException``) whose handler never
+  re-raises swallows unknown failures — ledger audits downstream then
+  reconcile silently-corrupt numbers.
+* ``raise Exception/BaseException/RuntimeError`` hides a failure class
+  applications cannot catch precisely; raise a ``repro.errors`` type.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..registry import Rule, register
+
+_GENERIC_EXCEPTIONS = frozenset({"Exception", "BaseException"})
+_GENERIC_RAISES = frozenset({"Exception", "BaseException", "RuntimeError"})
+
+
+def _handler_names(node: ast.AST) -> set:
+    """Exception class names caught by one handler's type expression."""
+    if node is None:
+        return set()
+    if isinstance(node, ast.Tuple):
+        out: set = set()
+        for el in node.elts:
+            out.update(_handler_names(el))
+        return out
+    if isinstance(node, ast.Name):
+        return {node.id}
+    if isinstance(node, ast.Attribute):
+        return {node.attr}
+    return set()
+
+
+@register
+class ExceptionPolicy(Rule):
+    id = "R006"
+    title = "no bare/swallowed exception handlers; raise repro.errors types"
+    description = (
+        "Bans bare 'except:', 'except Exception/BaseException' handlers "
+        "that never re-raise (swallowed failures corrupt downstream "
+        "accounting silently), and 'raise Exception/BaseException/"
+        "RuntimeError' (use the repro.errors hierarchy so callers can "
+        "catch precisely)."
+    )
+
+    def check(self, unit, ctx) -> Iterator[Finding]:
+        for node in ast.walk(unit.tree):
+            if isinstance(node, ast.ExceptHandler):
+                if node.type is None:
+                    yield self.finding(
+                        unit, node.lineno, node.col_offset,
+                        "bare 'except:' catches KeyboardInterrupt/SystemExit; "
+                        "name the exception types",
+                    )
+                    continue
+                caught = _handler_names(node.type)
+                if caught & _GENERIC_EXCEPTIONS and not any(
+                    isinstance(sub, ast.Raise) for sub in ast.walk(node)
+                ):
+                    generic = sorted(caught & _GENERIC_EXCEPTIONS)[0]
+                    yield self.finding(
+                        unit, node.lineno, node.col_offset,
+                        f"'except {generic}' without a re-raise swallows "
+                        "unknown failures; catch specific types or re-raise",
+                    )
+            elif isinstance(node, ast.Raise) and node.exc is not None:
+                exc = node.exc
+                target = exc.func if isinstance(exc, ast.Call) else exc
+                name = (
+                    target.id
+                    if isinstance(target, ast.Name)
+                    else target.attr
+                    if isinstance(target, ast.Attribute)
+                    else ""
+                )
+                if name in _GENERIC_RAISES:
+                    yield self.finding(
+                        unit, node.lineno, node.col_offset,
+                        f"raise {name} hides the failure class; raise a "
+                        "repro.errors type (ReproError subclass)",
+                    )

@@ -37,10 +37,20 @@ class BillingPolicy:
     def __post_init__(self) -> None:
         check_nonnegative("granularity_hours", self.granularity_hours)
 
+    @property
+    def is_continuous(self) -> bool:
+        """Whether billing is exact (no rounding to increments).
+
+        ``granularity_hours`` is validated non-negative and exactly 0.0
+        is the documented continuous-billing sentinel, so this is the
+        one place that sentinel is tested.
+        """
+        return self.granularity_hours == 0.0  # reprolint: disable=R005 -- exact 0.0 is the continuous-billing sentinel, never a computed value
+
     def billable_hours(self, duration_hours: float, interrupted: bool = False) -> float:
         """Hours actually charged for a run of ``duration_hours``."""
         check_nonnegative("duration_hours", duration_hours)
-        if self.granularity_hours == 0.0:
+        if self.is_continuous:
             return duration_hours
         g = self.granularity_hours
         if interrupted and self.refund_interrupted_hour:

@@ -97,7 +97,7 @@ def billed_spot_cost(
     if end < launch:
         raise TraceError(f"billing bounds reversed: [{launch}, {end}]")
     g = getattr(policy, "granularity_hours", 0.0)
-    if g == 0.0:
+    if not g:  # granularity 0 = continuous billing (BillingPolicy.is_continuous)
         return integrate_price(trace, launch, end)
     duration = end - launch
     n_full = int(np.floor(duration / g + 1e-12))

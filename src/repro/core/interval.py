@@ -45,10 +45,12 @@ def young_interval(
         raise ConfigurationError("overhead and mttf must be >= 0")
     if not math.isfinite(mttf_hours):
         return exec_time
-    if checkpoint_overhead == 0.0:
+    # Both inputs are validated non-negative above, so <= 0 is the same
+    # predicate as the zero sentinel without an exact float equality.
+    if checkpoint_overhead <= 0.0:
         # Free checkpoints: checkpoint as often as the model resolves.
         return min(exec_time, max(1e-6, mttf_hours / 100.0))
-    if mttf_hours == 0.0:
+    if mttf_hours <= 0.0:
         return exec_time  # group never launches; interval is irrelevant
     return float(min(exec_time, math.sqrt(2.0 * checkpoint_overhead * mttf_hours)))
 

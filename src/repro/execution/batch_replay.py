@@ -56,6 +56,13 @@ from .replay import (
 )
 from .results import GroupRunRecord, RunResult
 
+#: Scalar reference for every public kernel (reprolint R004); parity is
+#: asserted bit-exactly in tests/test_batch_parity.py.
+KERNEL_ORACLES = {
+    "replay_window_batch": "repro.execution.replay.replay_window",
+    "replay_batch": "repro.execution.replay.replay_decision",
+}
+
 
 @dataclass
 class _GroupCtx:

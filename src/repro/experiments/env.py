@@ -15,7 +15,6 @@ history and then living through the future.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from functools import lru_cache
 from typing import Mapping, Optional, Sequence
 
 import numpy as np

@@ -1,0 +1,695 @@
+"""Tests for the reprolint static-analysis framework (DESIGN.md §9).
+
+Each rule gets fixture snippets exercising a positive (fires), a
+negative (stays quiet) and a suppression case; the framework itself is
+covered through baseline round-trips, the CLI, and a meta-test that the
+linter runs clean over the real ``src/`` tree modulo the checked-in
+baseline.
+"""
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    Baseline,
+    BaselineEntry,
+    Severity,
+    get_rules,
+    run_lint,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def lint_snippet(
+    tmp_path,
+    source,
+    relpath="src/repro/core/mod.py",
+    select=None,
+    extra_files=None,
+    baseline=None,
+):
+    """Write ``source`` at ``relpath`` under a tmp project and lint it."""
+    target = tmp_path / relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source))
+    for rel, text in (extra_files or {}).items():
+        p = tmp_path / rel
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(textwrap.dedent(text))
+    return run_lint(
+        [target],
+        root=tmp_path,
+        rules=get_rules(select),
+        baseline=baseline,
+    )
+
+
+def rule_ids(result):
+    return [f.rule for f in result.findings]
+
+
+# ----------------------------------------------------------------------
+# R001 — no unseeded randomness
+# ----------------------------------------------------------------------
+class TestR001Randomness:
+    def test_flags_stdlib_random_import(self, tmp_path):
+        result = lint_snippet(tmp_path, "import random\n", select=["R001"])
+        assert rule_ids(result) == ["R001"]
+
+    def test_flags_np_random_global(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+
+            def jitter(x):
+                return x + np.random.normal()
+            """,
+            select=["R001"],
+        )
+        assert rule_ids(result) == ["R001"]
+
+    def test_flags_wall_clock(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+            select=["R001"],
+        )
+        assert rule_ids(result) == ["R001"]
+
+    def test_allows_seeded_generator_plumbing(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+
+            def draw(seed: int, rng: np.random.Generator = None):
+                rng = rng or np.random.default_rng(np.random.SeedSequence(seed))
+                return rng.uniform()
+            """,
+            select=["R001"],
+        )
+        assert result.findings == []
+
+    def test_scoped_to_deterministic_packages(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            "import random\n",
+            relpath="src/repro/experiments/mod.py",
+            select=["R001"],
+        )
+        assert result.findings == []
+
+    def test_inline_suppression(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            "import random  # reprolint: disable=R001 -- fixture\n",
+            select=["R001"],
+        )
+        assert result.findings == []
+
+
+# ----------------------------------------------------------------------
+# R002 — registered caches
+# ----------------------------------------------------------------------
+class TestR002Caches:
+    def test_flags_unregistered_module_cache(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            "_SCORE_CACHE: dict = {}\n",
+            select=["R002"],
+        )
+        assert rule_ids(result) == ["R002"]
+
+    def test_registered_cache_is_clean(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            from repro.core.two_level import register_cache_clearer
+
+            _SCORE_CACHE: dict = {}
+
+            def clear_score_cache():
+                _SCORE_CACHE.clear()
+
+            register_cache_clearer(clear_score_cache)
+            """,
+            select=["R002"],
+        )
+        assert result.findings == []
+
+    def test_registry_owner_module_is_exempt(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            _EVAL_CACHE: dict = {}
+
+            def clear_shared_caches():
+                _EVAL_CACHE.clear()
+            """,
+            select=["R002"],
+        )
+        assert result.findings == []
+
+    def test_flags_unregistered_lru_cache(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            from functools import lru_cache
+
+            @lru_cache(maxsize=None)
+            def expensive(x):
+                return x * x
+            """,
+            select=["R002"],
+        )
+        assert rule_ids(result) == ["R002"]
+
+    def test_registered_lru_cache_is_clean(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            from functools import lru_cache
+
+            from repro.core.two_level import register_cache_clearer
+
+            @lru_cache(maxsize=None)
+            def expensive(x):
+                return x * x
+
+            register_cache_clearer(expensive.cache_clear)
+            """,
+            select=["R002"],
+        )
+        assert result.findings == []
+
+    def test_plain_constant_dict_not_flagged(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            "LABELS = {'a': 1}\n",
+            select=["R002"],
+        )
+        assert result.findings == []
+
+
+# ----------------------------------------------------------------------
+# R003 — units discipline
+# ----------------------------------------------------------------------
+class TestR003Units:
+    def test_flags_dollars_plus_hours(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            def total(cost_usd, wall_hours):
+                return cost_usd + wall_hours
+            """,
+            select=["R003"],
+        )
+        assert rule_ids(result) == ["R003"]
+
+    def test_flags_seconds_vs_hours_comparison(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            def late(elapsed_s, deadline_hours):
+                return elapsed_s > deadline_hours
+            """,
+            select=["R003"],
+        )
+        assert rule_ids(result) == ["R003"]
+
+    def test_flags_return_drift_against_suffix(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            def window_hours(total_cost):
+                return total_cost
+            """,
+            select=["R003"],
+        )
+        assert rule_ids(result) == ["R003"]
+
+    def test_rates_and_products_not_flagged(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            def bill(price_per_hour, wall_hours, cost_a, cost_b):
+                subtotal = price_per_hour * wall_hours
+                return subtotal + cost_a + cost_b
+            """,
+            select=["R003"],
+        )
+        assert result.findings == []
+
+    def test_same_dimension_arithmetic_clean(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            def extend(deadline_hours, slack_hours, spot_cost, od_cost):
+                assert spot_cost <= od_cost
+                return deadline_hours + slack_hours
+            """,
+            select=["R003"],
+        )
+        assert result.findings == []
+
+
+# ----------------------------------------------------------------------
+# R004 — kernel/oracle pairing
+# ----------------------------------------------------------------------
+PARITY_STUB = """
+def test_fast_sum_matches_scalar():
+    from repro.execution.kernels import fast_sum
+"""
+
+
+class TestR004KernelOracles:
+    KERNEL_PATH = "src/repro/execution/kernels.py"
+
+    def test_missing_kernel_oracles_dict(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            "def fast_sum(xs):\n    return sum(xs)\n",
+            relpath=self.KERNEL_PATH,
+            select=["R004"],
+            extra_files={"tests/test_batch_parity.py": PARITY_STUB},
+        )
+        assert rule_ids(result) == ["R004"]
+        assert "KERNEL_ORACLES" in result.findings[0].message
+
+    def test_unmapped_public_function_flagged(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            KERNEL_ORACLES = {"fast_sum": "repro.core.math.slow_sum"}
+
+            def fast_sum(xs):
+                return sum(xs)
+
+            def fast_prod(xs):
+                return 1
+            """,
+            relpath=self.KERNEL_PATH,
+            select=["R004"],
+            extra_files={"tests/test_batch_parity.py": PARITY_STUB},
+        )
+        assert rule_ids(result) == ["R004"]
+        assert "fast_prod" in result.findings[0].message
+
+    def test_missing_parity_test_flagged(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            KERNEL_ORACLES = {"fast_other": "repro.core.math.slow_other"}
+
+            def fast_other(xs):
+                return xs
+            """,
+            relpath=self.KERNEL_PATH,
+            select=["R004"],
+            extra_files={"tests/test_batch_parity.py": PARITY_STUB},
+        )
+        assert rule_ids(result) == ["R004"]
+        assert "parity test" in result.findings[0].message
+
+    def test_stale_oracle_entry_flagged(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            KERNEL_ORACLES = {"fast_sum": "repro.core.math.slow_sum",
+                              "gone": "repro.core.math.slow_gone"}
+
+            def fast_sum(xs):
+                return sum(xs)
+            """,
+            relpath=self.KERNEL_PATH,
+            select=["R004"],
+            extra_files={"tests/test_batch_parity.py": PARITY_STUB},
+        )
+        assert rule_ids(result) == ["R004"]
+        assert "gone" in result.findings[0].message
+
+    def test_paired_kernel_is_clean(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            KERNEL_ORACLES = {"fast_sum": "repro.core.math.slow_sum"}
+
+            def fast_sum(xs):
+                return sum(xs)
+
+            def _helper(xs):
+                return xs
+            """,
+            relpath=self.KERNEL_PATH,
+            select=["R004"],
+            extra_files={"tests/test_batch_parity.py": PARITY_STUB},
+        )
+        assert result.findings == []
+
+    def test_non_kernel_module_ignored(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            "def anything(xs):\n    return xs\n",
+            relpath="src/repro/execution/replay.py",
+            select=["R004"],
+        )
+        assert result.findings == []
+
+    def test_suppressed_cache_helper(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            KERNEL_ORACLES = {"fast_sum": "repro.core.math.slow_sum"}
+
+            def fast_sum(xs):
+                return sum(xs)
+
+            # reprolint: disable=R004 -- cache plumbing
+            def cache_size():
+                return 0
+            """,
+            relpath=self.KERNEL_PATH,
+            select=["R004"],
+            extra_files={"tests/test_batch_parity.py": PARITY_STUB},
+        )
+        assert result.findings == []
+
+
+# ----------------------------------------------------------------------
+# R005 — float equality
+# ----------------------------------------------------------------------
+class TestR005FloatEquality:
+    def test_flags_float_literal_equality(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            "def f(x):\n    return x == 1.5\n",
+            select=["R005"],
+        )
+        assert rule_ids(result) == ["R005"]
+
+    def test_flags_dollar_total_equality(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            "def f(total_cost, ledger_cost):\n"
+            "    return total_cost == ledger_cost\n",
+            select=["R005"],
+        )
+        assert rule_ids(result) == ["R005"]
+
+    def test_int_equality_not_flagged(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            "def f(n):\n    return n == 0\n",
+            select=["R005"],
+        )
+        assert result.findings == []
+
+    def test_tolerant_comparison_not_flagged(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            import math
+
+            def f(a_cost, b_cost):
+                return math.isclose(a_cost, b_cost) or a_cost <= 0.0
+            """,
+            select=["R005"],
+        )
+        assert result.findings == []
+
+    def test_suppression_with_reason(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            "def f(g):\n"
+            "    return g == 0.0  # reprolint: disable=R005 -- sentinel\n",
+            select=["R005"],
+        )
+        assert result.findings == []
+
+
+# ----------------------------------------------------------------------
+# R006 — exception policy
+# ----------------------------------------------------------------------
+class TestR006Exceptions:
+    def test_flags_bare_except(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            def f():
+                try:
+                    return 1
+                except:
+                    return 0
+            """,
+            select=["R006"],
+        )
+        assert rule_ids(result) == ["R006"]
+
+    def test_flags_swallowed_exception(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            def f():
+                try:
+                    return 1
+                except Exception:
+                    pass
+            """,
+            select=["R006"],
+        )
+        assert rule_ids(result) == ["R006"]
+
+    def test_reraising_handler_is_clean(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            def f():
+                try:
+                    return 1
+                except Exception as exc:
+                    raise ValueError("wrapped") from exc
+            """,
+            select=["R006"],
+        )
+        assert result.findings == []
+
+    def test_specific_handler_is_clean(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            def f():
+                try:
+                    return 1
+                except (KeyError, OSError):
+                    return 0
+            """,
+            select=["R006"],
+        )
+        assert result.findings == []
+
+    def test_flags_generic_raise(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            "def f():\n    raise RuntimeError('boom')\n",
+            select=["R006"],
+        )
+        assert rule_ids(result) == ["R006"]
+
+    def test_library_error_raise_is_clean(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            from repro.errors import ConfigurationError
+
+            def f():
+                raise ConfigurationError("bad knob")
+            """,
+            select=["R006"],
+        )
+        assert result.findings == []
+
+
+# ----------------------------------------------------------------------
+# Framework: suppressions, baseline, severities, CLI
+# ----------------------------------------------------------------------
+class TestFramework:
+    def test_standalone_comment_suppression_covers_next_line(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            # reprolint: disable=R001 -- fixture needs it
+            import random
+            """,
+            select=["R001"],
+        )
+        assert result.findings == []
+
+    def test_skip_file_marker(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            "# reprolint: skip-file\nimport random\n",
+            select=["R001"],
+        )
+        assert result.findings == []
+
+    def test_syntax_error_becomes_finding(self, tmp_path):
+        result = lint_snippet(tmp_path, "def broken(:\n", select=["R001"])
+        assert [f.rule for f in result.findings] == ["R000"]
+        assert result.exit_code() == 1
+
+    def test_findings_are_errors_by_default(self, tmp_path):
+        result = lint_snippet(tmp_path, "import random\n", select=["R001"])
+        assert result.findings[0].severity is Severity.ERROR
+        assert result.exit_code() == 1
+
+    def test_baseline_round_trip(self, tmp_path):
+        result = lint_snippet(tmp_path, "import random\n", select=["R001"])
+        assert len(result.findings) == 1
+        baseline_path = tmp_path / "baseline.json"
+        Baseline.dump(result.findings, baseline_path, reason="grandfathered")
+        reloaded = Baseline.load(baseline_path)
+        again = lint_snippet(
+            tmp_path, "import random\n", select=["R001"], baseline=reloaded
+        )
+        assert again.findings == []
+        assert len(again.baselined) == 1
+        assert again.stale_baseline == []
+        assert again.exit_code() == 0
+
+    def test_baseline_survives_line_shift_but_not_code_change(self, tmp_path):
+        result = lint_snippet(tmp_path, "import random\n", select=["R001"])
+        baseline_path = tmp_path / "baseline.json"
+        Baseline.dump(result.findings, baseline_path, reason="grandfathered")
+        shifted = lint_snippet(
+            tmp_path,
+            "X = 1\n\nimport random\n",
+            select=["R001"],
+            baseline=Baseline.load(baseline_path),
+        )
+        assert shifted.findings == []
+        changed = lint_snippet(
+            tmp_path,
+            "import random as rnd\n",
+            select=["R001"],
+            baseline=Baseline.load(baseline_path),
+        )
+        assert rule_ids(changed) == ["R001"]
+        assert len(changed.stale_baseline) == 1
+
+    def test_baseline_requires_reasons(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({
+            "version": 1,
+            "entries": [{"rule": "R001", "path": "x.py",
+                         "code": "import random", "reason": "  "}],
+        }))
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            Baseline.load(path)
+
+    def test_baseline_multiset_semantics(self, tmp_path):
+        source = "import random\nimport random\n"
+        result = lint_snippet(tmp_path, source, select=["R001"])
+        assert len(result.findings) == 2
+        baseline = Baseline(
+            [BaselineEntry("R001", result.findings[0].path,
+                           "import random", "one of two")]
+        )
+        partial = lint_snippet(
+            tmp_path, source, select=["R001"], baseline=baseline
+        )
+        assert len(partial.findings) == 1
+        assert len(partial.baselined) == 1
+
+    def test_unknown_rule_selection_raises(self):
+        with pytest.raises(KeyError):
+            get_rules(["R999"])
+
+    def test_every_rule_registered_with_description(self):
+        rules = get_rules()
+        assert [r.id for r in rules] == [
+            "R001", "R002", "R003", "R004", "R005", "R006"
+        ]
+        for rule in rules:
+            assert rule.title and rule.description
+
+
+class TestCli:
+    def run_cli(self, *args, cwd):
+        env = {"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"}
+        return subprocess.run(
+            [sys.executable, "-m", "repro.analysis", *args],
+            capture_output=True, text=True, cwd=cwd, env=env,
+        )
+
+    def test_violation_fails_and_json_reports_it(self, tmp_path):
+        target = tmp_path / "src/repro/core/mod.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("import random\n")
+        proc = self.run_cli("src", "--format", "json", cwd=tmp_path)
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert payload["summary"]["errors"] == 1
+        assert payload["findings"][0]["rule"] == "R001"
+
+    def test_clean_tree_exits_zero(self, tmp_path):
+        target = tmp_path / "src/repro/core/mod.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("X = 1\n")
+        proc = self.run_cli("src", cwd=tmp_path)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_list_rules(self, tmp_path):
+        proc = self.run_cli("--list-rules", cwd=tmp_path)
+        assert proc.returncode == 0
+        for rid in ("R001", "R002", "R003", "R004", "R005", "R006"):
+            assert rid in proc.stdout
+
+
+# ----------------------------------------------------------------------
+# Meta: the linter runs clean over the real tree modulo the baseline
+# ----------------------------------------------------------------------
+class TestMetaSelfLint:
+    def test_src_is_clean_modulo_baseline(self):
+        baseline = Baseline.load(REPO_ROOT / "reprolint_baseline.json")
+        result = run_lint(
+            [REPO_ROOT / "src"], root=REPO_ROOT, baseline=baseline
+        )
+        assert result.findings == [], [f.format() for f in result.findings]
+        assert result.stale_baseline == [], [
+            e.to_json() for e in result.stale_baseline
+        ]
+
+    def test_baseline_contains_only_documented_r005(self):
+        """ISSUE acceptance: the baseline only grandfathers documented
+        exact float comparisons, nothing else."""
+        baseline = Baseline.load(REPO_ROOT / "reprolint_baseline.json")
+        for entry in baseline.entries:
+            assert entry.rule == "R005"
+            assert len(entry.reason.split()) >= 5
+
+    def test_fixture_violation_is_caught_against_real_tree(self, tmp_path):
+        """End-to-end: introducing a violation into a copy of a real
+        module makes the lint non-zero (guards against dead rules)."""
+        bad = tmp_path / "src/repro/core/evil.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(
+            "import random\n\n"
+            "def f(total_cost, wall_hours):\n"
+            "    return total_cost + wall_hours\n"
+        )
+        result = run_lint([bad], root=tmp_path, rules=get_rules())
+        assert {f.rule for f in result.findings} == {"R001", "R003"}
