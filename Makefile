@@ -1,16 +1,24 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint audit bench bench-full experiments quick
+.PHONY: test lint lint-fix audit bench bench-full experiments quick
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 ## reprolint static invariants (DESIGN.md §9): fails on any new
 ## (non-baselined) finding; reprolint_baseline.json grandfathers the
-## documented exact float comparisons and nothing else.
+## documented exact float comparisons and nothing else.  Warm reruns
+## replay from the content-hash cache; reprolint.sarif feeds CI's
+## inline PR annotations.
 lint:
-	$(PYTHON) -m repro.analysis src --baseline reprolint_baseline.json
+	$(PYTHON) -m repro.analysis src --baseline reprolint_baseline.json \
+		--cache --sarif reprolint.sarif
+
+## Apply mechanically-safe autofixes (suffix renames, zero guards),
+## then report what remains.
+lint-fix:
+	$(PYTHON) -m repro.analysis src --baseline reprolint_baseline.json --fix
 
 ## Tier-1 tests with repro.obs audit mode on: every replay/adaptive
 ## result must reconcile against its cost ledger or the suite fails.

@@ -16,7 +16,7 @@ import pathlib
 import sys
 import time
 
-from . import market, planning, replay
+from . import lint, market, planning, replay
 
 _MAX_REGRESSION = 0.20
 _REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
@@ -25,6 +25,7 @@ _SUITES = {
     "planning": planning.run,
     "replay": replay.run,
     "market": market.run,
+    "lint": lint.run,
 }
 
 

@@ -5,8 +5,18 @@ of the simulation code) that rejects whole classes of the bugs the
 runtime suites catch late or not at all: unseeded randomness in
 deterministic packages, unregistered memo caches, dollars-vs-hours unit
 mixing, vectorized kernels without scalar oracles/parity tests, bare
-float equality, and swallowed exceptions.  DESIGN.md §9 documents the
-rule set and workflow.
+float equality, swallowed exceptions, unaudited cost ledgers,
+unregistered experiment modules, and docstrings whose declared units
+contradict the name-suffix convention.  DESIGN.md §9 documents the rule
+set and workflow.
+
+The v2 engine is whole-program: every lint builds a
+:class:`~.project.ProjectGraph` (import graph, symbol tables, call
+graph) when any selected rule needs it, unit dimensions flow through an
+intraprocedural dataflow lattice (:mod:`.dataflow`), a content-hash
+cache (:mod:`.cache`) replays findings for unchanged files — including
+a fully-warm path that parses nothing — and mechanically-safe findings
+carry autofix hints applied by ``--fix`` (:mod:`.fixers`).
 
 Run it as ``python -m repro.analysis [paths]`` or ``make lint``.
 Programmatic entry points:
@@ -19,21 +29,29 @@ Programmatic entry points:
 """
 
 from .baseline import Baseline, BaselineEntry, DEFAULT_BASELINE_NAME
+from .cache import DEFAULT_CACHE_NAME, LintCache
 from .engine import LintContext, LintResult, ModuleUnit, load_unit, run_lint
 from .findings import Finding, Severity
+from .fixers import FixReport, fix_paths
+from .project import ProjectGraph
 from .registry import RULES, Rule, get_rules, register
 
 __all__ = [
     "Baseline",
     "BaselineEntry",
     "DEFAULT_BASELINE_NAME",
+    "DEFAULT_CACHE_NAME",
     "Finding",
+    "FixReport",
+    "LintCache",
     "LintContext",
     "LintResult",
     "ModuleUnit",
+    "ProjectGraph",
     "RULES",
     "Rule",
     "Severity",
+    "fix_paths",
     "get_rules",
     "load_unit",
     "register",

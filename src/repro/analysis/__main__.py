@@ -2,6 +2,19 @@
 
 Exit codes: 0 clean (modulo baseline), 1 findings (error severity, or
 anything under ``--strict``), 2 usage error.
+
+Beyond plain linting the CLI drives the v2 engine features:
+
+* ``--cache [PATH]`` — content-hash incremental cache; a warm run with
+  nothing changed replays every finding without parsing a file.
+* ``--fix`` / ``--fix-suppress`` — apply mechanically-safe autofixes
+  (suffix renames, zero-guard rewrites), optionally scaffolding inline
+  suppressions for what remains; idempotence is enforced by re-linting
+  the rewritten tree (:mod:`.fixers`).
+* ``--sarif PATH`` / ``--format sarif`` — SARIF 2.1.0 output for CI
+  inline annotations.
+* ``--prune-baseline`` — drop stale baseline entries so the file only
+  ever shrinks as violations are fixed.
 """
 
 from __future__ import annotations
@@ -12,9 +25,10 @@ from pathlib import Path
 
 from ..errors import ConfigurationError
 from .baseline import Baseline, DEFAULT_BASELINE_NAME
+from .cache import DEFAULT_CACHE_NAME
 from .engine import run_lint
 from .registry import get_rules
-from .reporters import report_json, report_rules, report_text
+from .reporters import report_json, report_rules, report_sarif, report_text
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -32,8 +46,12 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: current directory)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--sarif", type=Path, default=None, metavar="PATH",
+        help="additionally write a SARIF 2.1.0 report to PATH",
     )
     parser.add_argument(
         "--baseline", type=Path, default=None,
@@ -48,6 +66,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--write-baseline", action="store_true",
         help="write current findings to the baseline file and exit "
         "(reasons default to TODO markers that must be edited)",
+    )
+    parser.add_argument(
+        "--prune-baseline", action="store_true",
+        help="drop baseline entries nothing matched this run and "
+        "rewrite the file (the baseline shrinks, never grows)",
+    )
+    parser.add_argument(
+        "--cache", nargs="?", type=Path, const=Path(DEFAULT_CACHE_NAME),
+        default=None, metavar="PATH",
+        help="use the incremental lint cache "
+        f"(default path: <root>/{DEFAULT_CACHE_NAME})",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="read/parse thread-pool size (default: cpu count, max 8)",
+    )
+    parser.add_argument(
+        "--fix", action="store_true",
+        help="apply mechanically-safe autofixes (suffix renames, "
+        "zero-guard rewrites) before reporting; re-lints until stable",
+    )
+    parser.add_argument(
+        "--fix-suppress", action="store_true",
+        help="with --fix semantics, additionally scaffold inline "
+        "suppression comments (with TODO reasons) for findings no "
+        "autofix can handle",
     )
     parser.add_argument(
         "--select", default=None,
@@ -84,27 +128,65 @@ def main(argv: list[str] | None = None) -> int:
 
     root = (args.root or Path.cwd()).resolve()
     baseline_path = args.baseline or (root / DEFAULT_BASELINE_NAME)
-    baseline = None
-    if not args.no_baseline and not args.write_baseline:
+
+    def load_baseline():
+        """Fresh Baseline per lint pass (claiming is stateful)."""
+        if args.no_baseline or args.write_baseline:
+            return None
         if baseline_path.is_file():
-            try:
-                baseline = Baseline.load(baseline_path)
-            except ConfigurationError as exc:
-                print(f"reprolint: {exc}", file=sys.stderr)
-                return 2
-        elif args.baseline is not None:
-            print(
-                f"reprolint: baseline {baseline_path} not found",
-                file=sys.stderr,
-            )
-            return 2
+            return Baseline.load(baseline_path)
+        if args.baseline is not None:
+            raise ConfigurationError(f"baseline {baseline_path} not found")
+        return None
 
     try:
+        load_baseline()  # surface config errors before any work
+    except ConfigurationError as exc:
+        print(f"reprolint: {exc}", file=sys.stderr)
+        return 2
+
+    paths = [Path(p) for p in args.paths]
+    cache_path = None
+    if args.cache is not None:
+        cache_path = (
+            args.cache if args.cache.is_absolute() else root / args.cache
+        )
+
+    try:
+        if args.fix or args.fix_suppress:
+            from .fixers import fix_paths
+
+            fix_report = fix_paths(
+                paths, root=root, rules=rules,
+                baseline_factory=load_baseline,
+                suppress=args.fix_suppress,
+            )
+            for edit in fix_report.applied:
+                print(
+                    f"fixed {edit.path}:{edit.line}: [{edit.op}] {edit.detail}",
+                    file=out,
+                )
+            for edit in fix_report.refused:
+                print(
+                    f"skipped {edit.path}:{edit.line}: [{edit.op}] "
+                    f"{edit.detail}",
+                    file=out,
+                )
+            print(
+                f"reprolint --fix: {len(fix_report.applied)} fix(es) in "
+                f"{len(fix_report.files_changed)} file(s) over "
+                f"{fix_report.passes} pass(es); "
+                f"{fix_report.remaining} finding(s) remain",
+                file=out,
+            )
+
         result = run_lint(
-            [Path(p) for p in args.paths],
+            paths,
             root=root,
             rules=rules,
-            baseline=baseline,
+            baseline=load_baseline(),
+            cache_path=cache_path,
+            jobs=args.jobs,
         )
     except FileNotFoundError as exc:
         print(f"reprolint: {exc}", file=sys.stderr)
@@ -119,11 +201,52 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 0
 
+    if args.prune_baseline:
+        stale = len(result.stale_baseline)
+        if stale:
+            Baseline.dump_entries(
+                _kept_entries(baseline_path, result), baseline_path
+            )
+            print(
+                f"reprolint: pruned {stale} stale entr(y/ies) from "
+                f"{baseline_path}",
+                file=out,
+            )
+        else:
+            print(
+                f"reprolint: no stale entries in {baseline_path}", file=out
+            )
+
+    if args.sarif is not None:
+        sarif_path = (
+            args.sarif if args.sarif.is_absolute() else root / args.sarif
+        )
+        with open(sarif_path, "w", encoding="utf-8") as fh:
+            report_sarif(result, rules, fh, root=root)
+
     if args.format == "json":
         report_json(result, out)
+    elif args.format == "sarif":
+        report_sarif(result, rules, out, root=root)
     else:
         report_text(result, out, verbose=args.verbose)
     return result.exit_code(strict=args.strict)
+
+
+def _kept_entries(baseline_path: Path, result):
+    """Baseline entries that were claimed this run, in file order."""
+    baseline = Baseline.load(baseline_path)
+    stale_keys = {}
+    for entry in result.stale_baseline:
+        stale_keys[entry.key] = stale_keys.get(entry.key, 0) + 1
+    kept = []
+    for entry in reversed(baseline.entries):
+        if stale_keys.get(entry.key, 0) > 0:
+            stale_keys[entry.key] -= 1
+        else:
+            kept.append(entry)
+    kept.reverse()
+    return kept
 
 
 if __name__ == "__main__":

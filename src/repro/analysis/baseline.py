@@ -113,6 +113,23 @@ class Baseline:
         return cls(entries)
 
     @staticmethod
+    def dump_entries(entries: List[BaselineEntry], path: Path) -> None:
+        """Rewrite the baseline file with exactly ``entries``.
+
+        Used by ``--prune-baseline``: the surviving entries keep their
+        reviewed reasons verbatim; only stale ones are dropped, so the
+        file monotonically shrinks as violations are fixed.
+        """
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": [e.to_json() for e in entries],
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )
+
+    @staticmethod
     def dump(findings: List[Finding], path: Path, reason: str = "") -> None:
         """Write ``findings`` as a fresh baseline file.
 

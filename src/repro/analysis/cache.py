@@ -1,0 +1,139 @@
+"""Content-hash incremental cache for lint runs.
+
+``make lint`` re-runs on every edit loop, so the engine caches findings
+keyed by *content*, never by mtime:
+
+* **file-scope findings** (rules with ``uses_project=False``) replay
+  whenever that one file's hash is unchanged;
+* **project-scope findings** (graph rules and ``uses_project`` rules)
+  replay only when the *whole* fingerprint — every linted file's hash
+  plus every out-of-tree dependency a rule read through
+  ``ctx.read_project_file`` (e.g. R004's parity-test source) — is
+  unchanged.  Any edit anywhere re-runs them all, which is the sound
+  choice: a one-line signature change can move findings in any file.
+
+The cache additionally keys on an **engine fingerprint**: a hash of the
+``repro.analysis`` package's own sources and the selected rule ids, so
+editing the linter (or linting with ``--select``) can never replay
+findings computed by different code.  A fully warm run therefore does
+no parsing and no rule work at all — it reads, hashes, and replays.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from .findings import Finding
+
+CACHE_VERSION = 2
+DEFAULT_CACHE_NAME = ".reprolint_cache.json"
+
+_fingerprint_memo: Dict[tuple, str] = {}
+
+
+def content_hash(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def engine_fingerprint(rule_ids: Sequence[str]) -> str:
+    """Hash of the linter's own sources plus the selected rule ids."""
+    key = tuple(sorted(rule_ids))
+    if key not in _fingerprint_memo:
+        pkg = Path(__file__).resolve().parent
+        h = hashlib.sha256()
+        for p in sorted(pkg.rglob("*.py")):
+            if "__pycache__" in p.parts:
+                continue
+            h.update(p.relative_to(pkg).as_posix().encode())
+            h.update(b"\x00")
+            h.update(p.read_bytes())
+        h.update(("\x00".join(key)).encode())
+        _fingerprint_memo[key] = h.hexdigest()
+    return _fingerprint_memo[key]
+
+
+def project_fingerprint(file_hashes: Dict[str, str]) -> str:
+    h = hashlib.sha256()
+    for relpath in sorted(file_hashes):
+        h.update(relpath.encode())
+        h.update(b"\x00")
+        h.update(file_hashes[relpath].encode())
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+class LintCache:
+    """On-disk findings cache; see the module docstring for keying."""
+
+    def __init__(self, path: Path) -> None:
+        self.path = Path(path)
+        self.fingerprint: str = ""
+        self.project_fp: str = ""
+        self.deps: Dict[str, Optional[str]] = {}
+        self.files: Dict[str, dict] = {}
+        self.loaded = False
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: Path) -> "LintCache":
+        cache = cls(path)
+        try:
+            doc = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return cache
+        if doc.get("version") != CACHE_VERSION:
+            return cache
+        cache.fingerprint = doc.get("fingerprint", "")
+        cache.project_fp = doc.get("project_fingerprint", "")
+        cache.deps = dict(doc.get("deps", {}))
+        cache.files = dict(doc.get("files", {}))
+        cache.loaded = True
+        return cache
+
+    def save(
+        self,
+        fingerprint: str,
+        project_fp: str,
+        deps: Dict[str, Optional[str]],
+        files: Dict[str, dict],
+    ) -> None:
+        doc = {
+            "version": CACHE_VERSION,
+            "fingerprint": fingerprint,
+            "project_fingerprint": project_fp,
+            "deps": deps,
+            "files": files,
+        }
+        try:
+            self.path.write_text(
+                json.dumps(doc, indent=1, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+        except OSError:
+            pass  # a read-only tree degrades to always-cold, not an error
+
+    # ------------------------------------------------------------------
+    def file_entry(self, relpath: str, file_hash: str) -> Optional[dict]:
+        entry = self.files.get(relpath)
+        if entry and entry.get("hash") == file_hash:
+            return entry
+        return None
+
+    def deps_unchanged(self, root: Path) -> bool:
+        for relpath, recorded in self.deps.items():
+            p = root / relpath
+            current = content_hash(p.read_bytes()) if p.is_file() else None
+            if current != recorded:
+                return False
+        return True
+
+
+def encode_findings(findings: List[Finding]) -> List[dict]:
+    return [f.to_json() for f in findings]
+
+
+def decode_findings(raw: List[dict]) -> List[Finding]:
+    return [Finding.from_json(d) for d in raw]

@@ -1,0 +1,400 @@
+"""Unit-dimension dataflow: the lattice behind the v2 R003 rule.
+
+Two layers live here:
+
+* The **naming-convention classifier** (``classify_name`` /
+  ``infer_dim``) — the original suffix-only inference of reprolint v1,
+  kept verbatim as both the lattice's seed and the regression oracle:
+  fixtures assert that drift the suffix pass provably misses is caught
+  by the dataflow pass.
+* The **intraprocedural propagator** (:func:`analyze_scope`) — walks one
+  function (or the module body) in source order carrying an environment
+  of variable → dimension facts, seeded from parameter names and grown
+  through assignments, so ``tmp = runtime_hours; total_usd += tmp``
+  is a dollars/hours mix even though ``tmp`` itself is dimensionless to
+  the naming pass.  Call results are resolved through the project graph
+  when available (a callee's return dimension comes from its name
+  suffix or, failing that, from analysing its own returns).
+
+The conservatism contract is unchanged from v1: a fact is either
+*confident* or absent, every merge of disagreeing facts is absent, and
+issues fire only when **both** sides of an operation are confident and
+conflict.  Dynamic features simply produce no facts.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+MONEY = "dollars"
+HOURS = "hours"
+SECONDS = "seconds"
+
+_MONEY_WORDS = frozenset(
+    {"usd", "dollar", "dollars", "cost", "costs", "price", "prices",
+     "bill", "billed", "budget", "fee", "fees"}
+)
+_HOURS_WORDS = frozenset({"hours", "hour", "hrs", "hr"})
+_SECONDS_WORDS = frozenset({"seconds", "secs", "sec"})
+
+#: Name suffixes that pin a function's return dimension (also used by
+#: R009's docstring cross-check and the ``--fix`` suffix renamer).
+RETURN_SUFFIXES = {
+    "_usd": MONEY,
+    "_dollars": MONEY,
+    "_cost": MONEY,
+    "_hours": HOURS,
+    "_hrs": HOURS,
+    "_s": SECONDS,
+    "_seconds": SECONDS,
+}
+
+#: Canonical suffix per dimension, for rename suggestions.
+CANONICAL_SUFFIX = {MONEY: "_usd", HOURS: "_hours", SECONDS: "_s"}
+
+
+def classify_name(name: str) -> Optional[str]:
+    """Dimension of an identifier, or None when ambiguous/neutral."""
+    words = [w for w in name.lower().strip("_").split("_") if w]
+    if not words:
+        return None
+    dims = set()
+    if _MONEY_WORDS.intersection(words):
+        dims.add(MONEY)
+    if _HOURS_WORDS.intersection(words):
+        dims.add(HOURS)
+    # Bare trailing "_s" is the seconds suffix (``wall_s``); a word that
+    # merely *ends* in s (``draws``, ``times``) is not.
+    if _SECONDS_WORDS.intersection(words) or words[-1] == "s":
+        dims.add(SECONDS)
+    if len(dims) != 1:
+        return None  # rates (``price_per_hour``) and neutral names
+    return dims.pop()
+
+
+def suffix_dim(name: str) -> Optional[str]:
+    """Dimension pinned by a trailing unit suffix, or None."""
+    for suffix, dim in RETURN_SUFFIXES.items():
+        if name.endswith(suffix):
+            return dim
+    return None
+
+
+def infer_dim(node: ast.AST) -> Optional[str]:
+    """Suffix-only dimension of an expression (the v1 oracle).
+
+    Only name-shaped expressions are classified; calls and arithmetic
+    products are unknown by design (multiplication/division is how unit
+    conversions legitimately happen).
+    """
+    if isinstance(node, ast.Name):
+        return classify_name(node.id)
+    if isinstance(node, ast.Attribute):
+        return classify_name(node.attr)
+    if isinstance(node, ast.Subscript):
+        return infer_dim(node.value)
+    if isinstance(node, ast.Starred):
+        return infer_dim(node.value)
+    if isinstance(node, ast.UnaryOp):
+        return infer_dim(node.operand)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+        left, right = infer_dim(node.left), infer_dim(node.right)
+        if left is not None and left == right:
+            return left
+        return None
+    if isinstance(node, ast.IfExp):
+        body, orelse = infer_dim(node.body), infer_dim(node.orelse)
+        if body is not None and body == orelse:
+            return body
+        return None
+    return None
+
+
+# ----------------------------------------------------------------------
+# dataflow propagation
+# ----------------------------------------------------------------------
+
+#: Resolves the return dimension of a call written as ``name`` (dotted,
+#: as in source), or None when unknown.  The project graph supplies one
+#: per analysed function; without a graph a suffix-only fallback runs.
+CallResolver = Callable[[str], Optional[str]]
+
+_COMPARE_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+
+
+@dataclass
+class UnitIssue:
+    """One dimensional inconsistency found by the propagator."""
+
+    kind: str  # "mix-add" | "mix-compare" | "mix-augassign" |
+    #            "assign-suffix" | "return-suffix"
+    lineno: int
+    col: int
+    message: str
+    fix: Optional[dict] = None  # autofix hint (see analysis.fixers)
+
+
+def _is_number(node: ast.AST) -> bool:
+    if isinstance(node, ast.UnaryOp):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(
+        node.value, (int, float)
+    ) and not isinstance(node.value, bool)
+
+
+def _call_name(node: ast.Call) -> str:
+    parts: List[str] = []
+    fn = node.func
+    while isinstance(fn, ast.Attribute):
+        parts.append(fn.attr)
+        fn = fn.value
+    if isinstance(fn, ast.Name):
+        parts.append(fn.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def default_call_resolver(name: str) -> Optional[str]:
+    """Suffix-only fallback: ``obj.wall_hours()`` reads as hours.
+
+    Conversion helpers whose names mention two units
+    (``hours_to_seconds``) classify as ambiguous and stay unknown.
+    """
+    leaf = name.rsplit(".", 1)[-1]
+    return classify_name(leaf)
+
+
+class ScopeAnalyzer:
+    """Propagates dimension facts through one scope in source order."""
+
+    def __init__(
+        self,
+        resolver: Optional[CallResolver] = None,
+        declared_return: Optional[str] = None,
+        fn_name: str = "",
+    ) -> None:
+        self.resolver = resolver or default_call_resolver
+        self.declared_return = declared_return
+        self.fn_name = fn_name
+        self.env: Dict[str, Optional[str]] = {}
+        self.issues: List[UnitIssue] = []
+        self.return_dims: List[Optional[str]] = []
+
+    # ----------------------------------------------------------- facts
+    def lookup(self, name: str) -> Optional[str]:
+        if name in self.env:
+            return self.env[name]
+        return classify_name(name)
+
+    def infer(self, node: ast.AST) -> Optional[str]:
+        """Dimension of an expression under the current environment."""
+        if isinstance(node, ast.Name):
+            return self.lookup(node.id)
+        if isinstance(node, ast.Attribute):
+            return classify_name(node.attr)
+        if isinstance(node, ast.Subscript):
+            return self.infer(node.value)
+        if isinstance(node, ast.Starred):
+            return self.infer(node.value)
+        if isinstance(node, ast.UnaryOp):
+            return self.infer(node.operand)
+        if isinstance(node, ast.Call):
+            name = _call_name(node)
+            return self.resolver(name) if name else None
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.Add, ast.Sub)
+        ):
+            left, right = self.infer(node.left), self.infer(node.right)
+            if left is not None and left == right:
+                return left
+            # A bare numeric literal adopts the other side's dimension
+            # (``start_hours + 2.0`` is hours): it cannot *conflict*
+            # with anything, so this propagates more facts without
+            # weakening the confident-or-absent contract.
+            if left is not None and right is None and _is_number(node.right):
+                return left
+            if right is not None and left is None and _is_number(node.left):
+                return right
+            return None
+        if isinstance(node, ast.IfExp):
+            body, orelse = self.infer(node.body), self.infer(node.orelse)
+            if body is not None and body == orelse:
+                return body
+            return None
+        return None
+
+    # ---------------------------------------------------------- issues
+    def _scan_expressions(self, stmt: ast.stmt) -> None:
+        """Flag mixed additions/comparisons in one statement's exprs."""
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # nested defs get their own analysis
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                left, right = self.infer(node.left), self.infer(node.right)
+                if left is not None and right is not None and left != right:
+                    op = "+" if isinstance(node.op, ast.Add) else "-"
+                    self.issues.append(UnitIssue(
+                        "mix-add", node.lineno, node.col_offset,
+                        f"'{op}' mixes {left} and {right}; convert through "
+                        "repro.units before combining",
+                    ))
+            elif isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+                for op, lhs, rhs in zip(node.ops, operands, operands[1:]):
+                    if not isinstance(op, _COMPARE_OPS):
+                        continue
+                    left, right = self.infer(lhs), self.infer(rhs)
+                    if left is not None and right is not None and left != right:
+                        self.issues.append(UnitIssue(
+                            "mix-compare", node.lineno, node.col_offset,
+                            f"comparison mixes {left} and {right}; one side "
+                            "needs a repro.units conversion",
+                        ))
+
+    # ------------------------------------------------------ statements
+    def _bind(self, name: str, value_dim: Optional[str], node: ast.stmt) -> None:
+        declared = suffix_dim(name)
+        if (
+            declared is not None
+            and value_dim is not None
+            and value_dim != declared
+        ):
+            new_name = _rename_for(name, value_dim)
+            self.issues.append(UnitIssue(
+                "assign-suffix", node.lineno, node.col_offset,
+                f"{name!r} declares {declared} by suffix but is assigned a "
+                f"{value_dim}-dimensioned value",
+                fix={"op": "rename", "name": name, "to": new_name},
+            ))
+            # Trust the declared suffix downstream so one drift is one
+            # finding, not a cascade at every later use.
+            self.env[name] = declared
+            return
+        if value_dim is not None:
+            self.env[name] = value_dim
+        elif classify_name(name) is not None:
+            # Keep the name-derived fact: an unknown RHS must not erase
+            # what the suffix convention already promises readers.
+            self.env[name] = classify_name(name)
+        else:
+            self.env[name] = None
+
+    def _handle(self, stmt: ast.stmt) -> None:
+        self._scan_expressions(stmt)
+        if isinstance(stmt, ast.Assign):
+            value_dim = self.infer(stmt.value)
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    self._bind(target.id, value_dim, stmt)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            if isinstance(stmt.target, ast.Name):
+                self._bind(stmt.target.id, self.infer(stmt.value), stmt)
+        elif isinstance(stmt, ast.AugAssign) and isinstance(
+            stmt.op, (ast.Add, ast.Sub)
+        ):
+            target_dim = (
+                self.lookup(stmt.target.id)
+                if isinstance(stmt.target, ast.Name)
+                else self.infer(stmt.target)
+            )
+            value_dim = self.infer(stmt.value)
+            if (
+                target_dim is not None
+                and value_dim is not None
+                and target_dim != value_dim
+            ):
+                op = "+=" if isinstance(stmt.op, ast.Add) else "-="
+                self.issues.append(UnitIssue(
+                    "mix-augassign", stmt.lineno, stmt.col_offset,
+                    f"'{op}' accumulates {value_dim} into a {target_dim} "
+                    "total; convert through repro.units before accumulating",
+                ))
+        elif isinstance(stmt, ast.Return) and stmt.value is not None:
+            got = self.infer(stmt.value)
+            self.return_dims.append(got)
+            if (
+                self.declared_return is not None
+                and got is not None
+                and got != self.declared_return
+            ):
+                self.issues.append(UnitIssue(
+                    "return-suffix", stmt.lineno, stmt.col_offset,
+                    f"{self.fn_name}() declares {self.declared_return} by "
+                    f"suffix but returns a {got}-dimensioned expression",
+                ))
+
+    def run(self, body: List[ast.stmt]) -> "ScopeAnalyzer":
+        """Process ``body`` in source order, recursing into block stmts."""
+        for stmt in body:
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue  # separate scopes, analysed on their own
+            self._handle(stmt)
+            for inner in _block_bodies(stmt):
+                self.run(inner)
+        return self
+
+
+def _block_bodies(stmt: ast.stmt) -> Iterator[List[ast.stmt]]:
+    for attr in ("body", "orelse", "finalbody"):
+        inner = getattr(stmt, attr, None)
+        if inner and not isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            yield inner
+    for handler in getattr(stmt, "handlers", ()) or ():
+        yield handler.body
+
+
+def _rename_for(name: str, dim: str) -> str:
+    """Suffix-corrected name for a variable holding ``dim`` values."""
+    for suffix in RETURN_SUFFIXES:
+        if name.endswith(suffix):
+            return name[: -len(suffix)] + CANONICAL_SUFFIX[dim]
+    return name + CANONICAL_SUFFIX[dim]
+
+
+def analyze_scope(
+    body: List[ast.stmt],
+    params: Tuple[str, ...] = (),
+    resolver: Optional[CallResolver] = None,
+    declared_return: Optional[str] = None,
+    fn_name: str = "",
+) -> ScopeAnalyzer:
+    """Analyse one scope body; returns the finished analyzer."""
+    analyzer = ScopeAnalyzer(
+        resolver=resolver, declared_return=declared_return, fn_name=fn_name
+    )
+    for param in params:
+        dim = classify_name(param)
+        if dim is not None:
+            analyzer.env[param] = dim
+    return analyzer.run(body)
+
+
+def infer_return_dim(
+    fn_node: ast.AST,
+    resolver: Optional[CallResolver] = None,
+) -> Optional[str]:
+    """Return dimension of a function: suffix first, else its returns.
+
+    Used by the project-graph call resolver so that a helper without a
+    unit suffix (``def elapsed(...): return end_hours - start_hours``)
+    still contributes a confident fact at its call sites.
+    """
+    if not isinstance(fn_node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return None
+    declared = suffix_dim(fn_node.name)
+    if declared is not None:
+        return declared
+    params = tuple(a.arg for a in fn_node.args.args)
+    analysis = analyze_scope(fn_node.body, params=params, resolver=resolver)
+    dims = {d for d in analysis.return_dims}
+    if len(dims) == 1 and None not in dims:
+        return dims.pop()
+    return None

@@ -1,8 +1,23 @@
-"""Lint driver: file discovery, parsing, suppressions, rule dispatch.
+"""Lint driver: discovery, parallel parsing, caching, rule dispatch.
 
 The engine is deliberately import-free of the hot simulation paths — it
-touches only ``ast``, ``pathlib`` and the sibling lint modules, so
-``make lint`` never pays (or perturbs) a model import.
+touches only ``ast``, ``pathlib``, ``concurrent.futures`` and the
+sibling lint modules, so ``make lint`` never pays (or perturbs) a model
+import.
+
+A run has four phases:
+
+1. **Read + hash** every discovered file (thread pool — this is I/O).
+2. **Cache gate** — with a cache attached and *nothing* changed (same
+   engine fingerprint, same file set and hashes, same out-of-tree
+   dependencies), every finding replays from the cache and no parsing
+   happens at all.  Otherwise:
+3. **Parse** all files (thread pool), build the
+   :class:`~.project.ProjectGraph` when any selected rule needs it, and
+   dispatch: file-scope rules run per module (replaying per-file from
+   the cache when that file's hash is unchanged), project-scope rules
+   run once over the graph.
+4. **Reconcile** against the baseline (:mod:`.baseline`).
 
 Suppressions
 ------------
@@ -13,7 +28,8 @@ comment-only line ``L-1`` directly above it — carries::
     # reprolint: disable=R001,R005       -- multiple rules
     # reprolint: disable=all
 
-``# reprolint: skip-file`` anywhere in a module skips it entirely.
+``# reprolint: skip-file`` anywhere in a module skips its findings
+entirely (the module still contributes symbols to the project graph).
 Suppressions are for *point* exemptions whose justification fits on the
 line; findings grandfathered wholesale live in the baseline file
 instead (:mod:`.baseline`).
@@ -22,10 +38,12 @@ instead (:mod:`.baseline`).
 from __future__ import annotations
 
 import ast
+import os
 import re
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .baseline import Baseline, BaselineEntry
 from .findings import Finding, Severity
@@ -66,22 +84,44 @@ class ModuleUnit:
                 return True
         return False
 
+    @property
+    def skip_file(self) -> bool:
+        return bool(_SKIP_FILE_RE.search(self.source))
+
 
 @dataclass
 class LintContext:
-    """Shared state rules may consult (project root, file cache)."""
+    """Shared state rules may consult (root, file cache, project graph)."""
 
     root: Path
+    project: Optional["object"] = None  # ProjectGraph when a rule needs it
+    units: Dict[str, ModuleUnit] = field(default_factory=dict)  # by relpath
     _file_cache: Dict[str, Optional[str]] = field(default_factory=dict)
 
     def read_project_file(self, relpath: str) -> Optional[str]:
-        """Text of ``root/relpath``, or None when absent (cached)."""
+        """Text of ``root/relpath``, or None when absent (cached).
+
+        Every file read this way is recorded as an out-of-tree cache
+        dependency: project-scope findings replay only while its
+        content is unchanged.
+        """
         if relpath not in self._file_cache:
             p = self.root / relpath
             self._file_cache[relpath] = (
                 p.read_text(encoding="utf-8") if p.is_file() else None
             )
         return self._file_cache[relpath]
+
+    def unit_for(self, relpath: str) -> Optional[ModuleUnit]:
+        return self.units.get(relpath)
+
+    def dep_hashes(self) -> Dict[str, Optional[str]]:
+        from .cache import content_hash
+
+        return {
+            rel: (content_hash(text.encode("utf-8")) if text is not None else None)
+            for rel, text in self._file_cache.items()
+        }
 
 
 @dataclass
@@ -92,6 +132,8 @@ class LintResult:
     baselined: List[Finding]  # matched a baseline entry
     stale_baseline: List[BaselineEntry]  # baseline entries nothing matched
     files_checked: int = 0
+    cache_mode: str = "off"  # "off" | "cold" | "partial" | "full"
+    files_replayed: int = 0  # files whose findings came from the cache
 
     @property
     def errors(self) -> List[Finding]:
@@ -114,17 +156,22 @@ def _parse_suppressions(lines: Sequence[str]) -> Dict[int, set]:
     return table
 
 
-def load_unit(path: Path, root: Path) -> ModuleUnit:
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def load_unit(path: Path, root: Path, source: Optional[str] = None) -> ModuleUnit:
     """Parse one file into a :class:`ModuleUnit`.
 
     Raises :class:`SyntaxError` when the file does not parse; the caller
     converts that into an ``R000`` finding.
     """
-    source = path.read_text(encoding="utf-8")
-    try:
-        relpath = path.resolve().relative_to(root.resolve()).as_posix()
-    except ValueError:
-        relpath = path.as_posix()
+    if source is None:
+        source = path.read_text(encoding="utf-8")
+    relpath = _relpath(path, root)
     tree = ast.parse(source, filename=str(path))
     lines = source.splitlines()
     return ModuleUnit(
@@ -156,44 +203,205 @@ def discover(paths: Iterable[Path]) -> List[Path]:
     return sorted(out)
 
 
+def _default_jobs() -> int:
+    return min(8, (os.cpu_count() or 2))
+
+
+def _read_all(
+    files: Sequence[Path], jobs: int
+) -> List[Tuple[Path, bytes, Optional[OSError]]]:
+    def read_one(path: Path):
+        try:
+            return (path, path.read_bytes(), None)
+        except OSError as exc:  # surfaced as FileNotFoundError by discover
+            return (path, b"", exc)
+
+    if jobs <= 1 or len(files) < 4:
+        return [read_one(p) for p in files]
+    with ThreadPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(read_one, files))
+
+
 def run_lint(
     paths: Sequence[Path],
     root: Optional[Path] = None,
     rules: Optional[Sequence[Rule]] = None,
     baseline: Optional[Baseline] = None,
+    cache_path: Optional[Path] = None,
+    jobs: Optional[int] = None,
 ) -> LintResult:
-    """Lint ``paths`` and reconcile findings against ``baseline``."""
+    """Lint ``paths`` and reconcile findings against ``baseline``.
+
+    ``cache_path`` attaches the incremental cache (:mod:`.cache`);
+    ``jobs`` bounds the read/parse thread pool (default: cpu count,
+    capped at 8).
+    """
+    from .cache import (
+        LintCache,
+        content_hash,
+        decode_findings,
+        encode_findings,
+        engine_fingerprint,
+        project_fingerprint,
+    )
+
     root = Path(root) if root is not None else Path.cwd()
     rules = list(rules) if rules is not None else get_rules()
-    ctx = LintContext(root=root)
-    raw: List[Finding] = []
+    jobs = jobs if jobs is not None else _default_jobs()
+    need_graph = any(r.needs_graph for r in rules)
+    file_rules = [r for r in rules if r.scope == "file" and not r.uses_project]
+    graph_file_rules = [r for r in rules if r.scope == "file" and r.uses_project]
+    project_rules = [r for r in rules if r.scope == "project"]
+
     files = discover(paths)
-    for path in files:
+    reads = _read_all(files, jobs)
+    rels = {path: _relpath(path, root) for path, _, _ in reads}
+    hashes = {rels[path]: content_hash(data) for path, data, _ in reads}
+
+    cache = LintCache.load(cache_path) if cache_path is not None else None
+    fingerprint = engine_fingerprint([r.id for r in rules]) if cache else ""
+    proj_fp = project_fingerprint(hashes) if cache else ""
+    cache_usable = cache is not None and cache.loaded and (
+        cache.fingerprint == fingerprint
+    )
+
+    # ------------------------------------------------------------------
+    # fully-warm path: nothing changed anywhere -> replay, no parsing
+    # ------------------------------------------------------------------
+    if (
+        cache_usable
+        and cache.project_fp == proj_fp
+        and set(cache.files) == set(hashes)
+        and all(cache.files[r].get("hash") == h for r, h in hashes.items())
+        and cache.deps_unchanged(root)
+    ):
+        raw: List[Finding] = []
+        for entry in cache.files.values():
+            raw.extend(decode_findings(entry.get("file_findings", [])))
+            raw.extend(decode_findings(entry.get("project_findings", [])))
+        return _finish(
+            raw, baseline, len(files), cache_mode="full",
+            files_replayed=len(files),
+        )
+
+    # ------------------------------------------------------------------
+    # parse (parallel), build graph, dispatch rules
+    # ------------------------------------------------------------------
+    parse_errors: Dict[str, Finding] = {}
+
+    def parse_one(item):
+        path, data, err = item
+        relpath = rels[path]
+        if err is not None:
+            raise FileNotFoundError(f"lint target does not exist: {path}")
         try:
-            unit = load_unit(path, root)
+            return load_unit(path, root, source=data.decode("utf-8"))
         except SyntaxError as exc:
-            relpath = path.as_posix()
-            raw.append(
-                Finding(
-                    rule=PARSE_RULE,
-                    severity=Severity.ERROR,
-                    path=relpath,
-                    line=exc.lineno or 1,
-                    col=exc.offset or 0,
-                    message=f"file does not parse: {exc.msg}",
-                )
+            parse_errors[relpath] = Finding(
+                rule=PARSE_RULE,
+                severity=Severity.ERROR,
+                path=relpath,
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                message=f"file does not parse: {exc.msg}",
             )
+            return None
+
+    if jobs <= 1 or len(reads) < 4:
+        units = [parse_one(item) for item in reads]
+    else:
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            units = list(pool.map(parse_one, reads))
+    units = [u for u in units if u is not None]
+
+    ctx = LintContext(root=root, units={u.relpath: u for u in units})
+    if need_graph:
+        from .project import ProjectGraph
+
+        ctx.project = ProjectGraph.build(units)
+
+    per_file: Dict[str, dict] = {
+        relpath: {"hash": hashes[relpath], "file_findings": [], "project_findings": []}
+        for relpath in hashes
+    }
+    for relpath, finding in parse_errors.items():
+        per_file[relpath]["file_findings"].append(finding)
+
+    files_replayed = 0
+    for unit in units:
+        if unit.skip_file:
             continue
-        if _SKIP_FILE_RE.search(unit.source):
-            continue
-        for rule in rules:
+        entry = (
+            cache.file_entry(unit.relpath, hashes[unit.relpath])
+            if cache_usable
+            else None
+        )
+        if entry is not None:
+            per_file[unit.relpath]["file_findings"] = decode_findings(
+                entry.get("file_findings", [])
+            )
+            files_replayed += 1
+        else:
+            for rule in file_rules:
+                if not rule.applies(unit.relpath):
+                    continue
+                for finding in rule.check(unit, ctx):
+                    if not unit.is_suppressed(finding.rule, finding.line):
+                        per_file[unit.relpath]["file_findings"].append(finding)
+        for rule in graph_file_rules:
             if not rule.applies(unit.relpath):
                 continue
             for finding in rule.check(unit, ctx):
                 if not unit.is_suppressed(finding.rule, finding.line):
-                    raw.append(finding)
-    raw.sort(key=lambda f: f.sort_key)
+                    per_file[unit.relpath]["project_findings"].append(finding)
 
+    for rule in project_rules:
+        for finding in rule.check_project(ctx):
+            unit = ctx.units.get(finding.path)
+            if unit is not None and (
+                unit.skip_file
+                or unit.is_suppressed(finding.rule, finding.line)
+            ):
+                continue
+            if finding.path in per_file:
+                per_file[finding.path]["project_findings"].append(finding)
+
+    raw = []
+    for entry in per_file.values():
+        raw.extend(entry["file_findings"])
+        raw.extend(entry["project_findings"])
+
+    if cache is not None:
+        cache.save(
+            fingerprint,
+            proj_fp,
+            ctx.dep_hashes(),
+            {
+                relpath: {
+                    "hash": entry["hash"],
+                    "file_findings": encode_findings(entry["file_findings"]),
+                    "project_findings": encode_findings(
+                        entry["project_findings"]
+                    ),
+                }
+                for relpath, entry in per_file.items()
+            },
+        )
+
+    mode = "off" if cache is None else ("partial" if files_replayed else "cold")
+    return _finish(
+        raw, baseline, len(files), cache_mode=mode, files_replayed=files_replayed
+    )
+
+
+def _finish(
+    raw: List[Finding],
+    baseline: Optional[Baseline],
+    files_checked: int,
+    cache_mode: str,
+    files_replayed: int,
+) -> LintResult:
+    raw = sorted(raw, key=lambda f: f.sort_key)
     baseline = baseline or Baseline()
     new: List[Finding] = []
     matched: List[Finding] = []
@@ -206,7 +414,9 @@ def run_lint(
         findings=new,
         baselined=matched,
         stale_baseline=baseline.unclaimed(),
-        files_checked=len(files),
+        files_checked=files_checked,
+        cache_mode=cache_mode,
+        files_replayed=files_replayed,
     )
 
 
@@ -220,4 +430,5 @@ def _rebuild_baselined(finding: Finding) -> Finding:
         message=finding.message,
         code=finding.code,
         baselined=True,
+        fix=finding.fix,
     )

@@ -36,6 +36,9 @@ class Finding:
     message: str
     code: str = ""  # stripped source line (baseline matching key)
     baselined: bool = field(default=False, compare=False)
+    #: Structured autofix hint consumed by :mod:`.fixers` (``--fix``);
+    #: e.g. ``{"op": "rename", "name": "wall_hours", "to": "wall_s"}``.
+    fix: dict = field(default=None, compare=False)  # type: ignore[assignment]
 
     @property
     def sort_key(self) -> tuple:
@@ -48,7 +51,7 @@ class Finding:
         return f"{self.path}:{self.line}:{self.col}: {tag} {self.message}{suffix}"
 
     def to_json(self) -> dict:
-        return {
+        out = {
             "rule": self.rule,
             "severity": self.severity.value,
             "path": self.path,
@@ -58,3 +61,21 @@ class Finding:
             "code": self.code,
             "baselined": self.baselined,
         }
+        if self.fix:
+            out["fix"] = self.fix
+        return out
+
+    @classmethod
+    def from_json(cls, raw: dict) -> "Finding":
+        """Inverse of :meth:`to_json` (cache replay round-trip)."""
+        return cls(
+            rule=raw["rule"],
+            severity=Severity(raw["severity"]),
+            path=raw["path"],
+            line=int(raw["line"]),
+            col=int(raw["col"]),
+            message=raw["message"],
+            code=raw.get("code", ""),
+            baselined=bool(raw.get("baselined", False)),
+            fix=raw.get("fix"),
+        )

@@ -1,0 +1,358 @@
+"""Autofix pass for mechanically-safe findings (``--fix``).
+
+Rules attach structured hints to findings (``Finding.fix``); this module
+turns them into source edits.  Two hint shapes exist today:
+
+``{"op": "rename", "name": N, "to": T}``
+    from R003's assign-suffix check — a local variable whose unit suffix
+    contradicts the dimension flowing into it.  The fix renames every
+    occurrence *within the enclosing function scope*, and refuses
+    whenever the rename could be observable beyond that scope:
+    parameters (API-visible keywords), names declared ``global`` or
+    ``nonlocal``, names also used inside nested functions or lambdas
+    (closure capture), module-level names (importable attributes), and
+    targets whose new name is already in use.
+
+``{"op": "zero-guard", "line", "start", "end", "repl"}``
+    from R005 — ``X == 0.0`` on a non-negative dimensioned quantity
+    becomes ``X <= 0.0`` (and ``!=`` becomes ``>``), replacing only the
+    operator token between the recorded columns.
+
+The loop is **fix → rewrite → re-lint**, repeated until a pass applies
+nothing (bounded by ``max_passes``): idempotence is not argued from the
+edits, it is *checked* by linting the rewritten tree, and any hint the
+re-lint still produces is refused rather than re-applied blindly.
+
+``--fix-suppress`` additionally scaffolds inline suppressions
+(``# reprolint: disable=RNNN -- TODO: justify``) for the findings that
+survive the fix passes; the TODO must be edited before review, which is
+the point — suppression is a decision, not an autofix.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .engine import run_lint
+from .findings import Finding
+
+#: Fix/suppress passes before we give up on convergence.  Two is enough
+#: for every legal chain (a rename can expose one new finding at most);
+#: the third pass exists to *verify* the second applied nothing.
+MAX_PASSES = 3
+
+SUPPRESS_TODO = "TODO: justify"
+
+
+@dataclass
+class FixEdit:
+    """One applied (or refused) source change."""
+
+    path: str
+    line: int
+    op: str  # "rename" | "zero-guard" | "suppress"
+    detail: str
+    applied: bool = True
+
+
+@dataclass
+class FixReport:
+    """Outcome of one ``--fix`` invocation."""
+
+    passes: int = 0
+    edits: List[FixEdit] = field(default_factory=list)
+    files_changed: Set[str] = field(default_factory=set)
+    remaining: int = 0  # findings left after the final pass
+
+    @property
+    def applied(self) -> List[FixEdit]:
+        return [e for e in self.edits if e.applied]
+
+    @property
+    def refused(self) -> List[FixEdit]:
+        return [e for e in self.edits if not e.applied]
+
+
+# ----------------------------------------------------------------------
+# rename safety analysis
+# ----------------------------------------------------------------------
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def _enclosing_function(tree: ast.Module, line: int) -> Optional[ast.AST]:
+    """Innermost function whose body spans ``line`` (None = module level)."""
+    best = None
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.lineno <= line <= (node.end_lineno or node.lineno):
+                if best is None or node.lineno > best.lineno:
+                    best = node
+    return best
+
+
+def _own_names(fn: ast.AST, name: str) -> Tuple[List[ast.Name], bool]:
+    """``Name`` nodes for ``name`` directly in ``fn``'s scope.
+
+    Returns ``(occurrences, crosses_scope)`` where ``crosses_scope`` is
+    True when the name also appears inside a nested function or lambda —
+    either a closure capture or an unrelated inner binding, and in both
+    cases renaming only the outer occurrences would be wrong.
+    """
+    own: List[ast.Name] = []
+    crosses = False
+
+    def walk(node: ast.AST, inner: bool) -> None:
+        nonlocal crosses
+        for child in ast.iter_child_nodes(node):
+            child_inner = inner or isinstance(child, _SCOPE_NODES)
+            if isinstance(child, ast.Name) and child.id == name:
+                if inner:
+                    crosses = True
+                else:
+                    own.append(child)
+            walk(child, child_inner)
+
+    walk(fn, False)
+    return own, crosses
+
+
+def _rename_refusal(fn: ast.AST, name: str, to: str) -> Optional[str]:
+    """Why renaming ``name`` to ``to`` inside ``fn`` is unsafe, or None."""
+    args = fn.args
+    params = {
+        a.arg
+        for a in (
+            *args.posonlyargs, *args.args, *args.kwonlyargs,
+            *((args.vararg,) if args.vararg else ()),
+            *((args.kwarg,) if args.kwarg else ()),
+        )
+    }
+    if name in params:
+        return "is a parameter (renaming changes the keyword API)"
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.Global, ast.Nonlocal)) and name in node.names:
+            kind = "global" if isinstance(node, ast.Global) else "nonlocal"
+            return f"is declared {kind} (binding escapes the function)"
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Name) and node.id == to:
+            return f"target name {to!r} is already in use"
+        if isinstance(node, ast.arg) and node.arg == to:
+            return f"target name {to!r} is already in use"
+    return None
+
+
+def _rename_edits(
+    source: str, tree: ast.Module, finding: Finding
+) -> Tuple[List[Tuple[int, int, str, str]], Optional[str]]:
+    """Point edits for a rename hint, or ``([], reason)`` when refused."""
+    name, to = finding.fix["name"], finding.fix["to"]
+    fn = _enclosing_function(tree, finding.line)
+    if fn is None:
+        return [], "module-level name (an importable attribute)"
+    reason = _rename_refusal(fn, name, to)
+    if reason is not None:
+        return [], reason
+    occurrences, crosses = _own_names(fn, name)
+    if crosses:
+        return [], "name is also used inside a nested function or lambda"
+    if not occurrences:
+        return [], "no occurrences found (stale hint)"
+    return [(n.lineno, n.col_offset, name, to) for n in occurrences], None
+
+
+def _guard_edits(
+    lines: List[str], finding: Finding
+) -> Tuple[List[Tuple[int, int, str, str]], Optional[str]]:
+    """Point edit for a zero-guard hint, validated against the source."""
+    fix = finding.fix
+    line, start, end = fix["line"], fix["start"], fix["end"]
+    if not 1 <= line <= len(lines):
+        return [], "line out of range (stale hint)"
+    segment = lines[line - 1][start:end]
+    old = segment.strip()
+    if old not in ("==", "!="):
+        return [], f"operator token not found (saw {segment!r})"
+    col = start + segment.index(old)
+    return [(line, col, old, fix["repl"])], None
+
+
+def _apply_points(
+    source: str, points: Sequence[Tuple[int, int, str, str]]
+) -> Optional[str]:
+    """Apply ``(line, col, old, new)`` replacements, descending order.
+
+    Returns the new source, or None when any point fails to validate
+    (source drifted under us) — the caller drops the whole file's batch
+    for this pass and lets the re-lint produce fresh hints.
+    """
+    lines = source.splitlines(keepends=True)
+    for line, col, old, new in sorted(points, reverse=True):
+        text = lines[line - 1]
+        if text[col : col + len(old)] != old:
+            return None
+        lines[line - 1] = text[:col] + new + text[col + len(old) :]
+    return "".join(lines)
+
+
+# ----------------------------------------------------------------------
+# driver
+# ----------------------------------------------------------------------
+
+
+def _fixable(findings: Sequence[Finding]) -> List[Finding]:
+    return [f for f in findings if f.fix]
+
+
+def _one_pass(
+    paths: Sequence[Path],
+    root: Path,
+    rules,
+    baseline_factory,
+    report: FixReport,
+) -> int:
+    """Run one lint + fix cycle; returns the number of edits applied."""
+    result = run_lint(paths, root=root, rules=rules, baseline=baseline_factory())
+    report.remaining = len(result.findings)
+    by_path: Dict[str, List[Finding]] = {}
+    for finding in _fixable(result.findings):
+        by_path.setdefault(finding.path, []).append(finding)
+
+    applied = 0
+    for relpath, findings in sorted(by_path.items()):
+        target = root / relpath
+        source = target.read_text(encoding="utf-8")
+        lines = source.splitlines()
+        try:
+            tree = ast.parse(source)
+        except SyntaxError:
+            continue  # R000 territory; nothing to fix mechanically
+
+        points: List[Tuple[int, int, str, str]] = []
+        claimed: Set[Tuple[int, int]] = set()
+        for finding in findings:
+            op = finding.fix.get("op")
+            if op == "rename":
+                batch, refusal = _rename_edits(source, tree, finding)
+                detail = (
+                    f"{finding.fix['name']} -> {finding.fix['to']}"
+                    if refusal is None
+                    else f"{finding.fix['name']}: {refusal}"
+                )
+            elif op == "zero-guard":
+                batch, refusal = _guard_edits(lines, finding)
+                detail = (
+                    f"'{batch[0][2]}' -> '{batch[0][3]}'"
+                    if refusal is None
+                    else refusal
+                )
+            else:
+                batch, refusal = [], f"unknown fix op {op!r}"
+                detail = refusal
+            if refusal is None and any(
+                (ln, col) in claimed for ln, col, _, _ in batch
+            ):
+                refusal = "overlaps an earlier fix this pass"
+                detail = refusal
+                batch = []
+            edit = FixEdit(
+                path=relpath, line=finding.line, op=op or "?",
+                detail=detail, applied=refusal is None,
+            )
+            if edit.applied or edit not in report.edits:
+                report.edits.append(edit)  # refusals repeat every pass
+            if refusal is None:
+                claimed.update((ln, col) for ln, col, _, _ in batch)
+                points.extend(batch)
+
+        if not points:
+            continue
+        new_source = _apply_points(source, points)
+        if new_source is None or new_source == source:
+            continue
+        try:
+            ast.parse(new_source)  # never write a file we broke
+        except SyntaxError:
+            for edit in report.edits:
+                if edit.path == relpath and edit.applied:
+                    edit.applied = False
+                    edit.detail += " (reverted: rewrite did not parse)"
+            continue
+        target.write_text(new_source, encoding="utf-8")
+        report.files_changed.add(relpath)
+        applied += len(points)
+    return applied
+
+
+def _suppress_pass(
+    paths: Sequence[Path], root: Path, rules, baseline_factory, report: FixReport
+) -> int:
+    """Scaffold inline suppressions for whatever the fix passes left."""
+    result = run_lint(paths, root=root, rules=rules, baseline=baseline_factory())
+    by_path: Dict[str, List[Finding]] = {}
+    for finding in result.findings:
+        by_path.setdefault(finding.path, []).append(finding)
+
+    added = 0
+    for relpath, findings in sorted(by_path.items()):
+        target = root / relpath
+        source = target.read_text(encoding="utf-8")
+        lines = source.splitlines(keepends=True)
+        per_line: Dict[int, Set[str]] = {}
+        for finding in findings:
+            per_line.setdefault(finding.line, set()).add(finding.rule)
+        changed = False
+        for line in sorted(per_line, reverse=True):
+            if not 1 <= line <= len(lines):
+                continue
+            text = lines[line - 1]
+            if "# reprolint:" in text:
+                continue  # existing directive governs this line
+            body = text.rstrip("\n")
+            eol = text[len(body):]
+            ids = ",".join(sorted(per_line[line]))
+            lines[line - 1] = (
+                f"{body}  # reprolint: disable={ids} -- {SUPPRESS_TODO}{eol}"
+            )
+            report.edits.append(FixEdit(
+                path=relpath, line=line, op="suppress",
+                detail=f"disable={ids}",
+            ))
+            changed = True
+            added += 1
+        if changed:
+            target.write_text("".join(lines), encoding="utf-8")
+            report.files_changed.add(relpath)
+    return added
+
+
+def fix_paths(
+    paths: Sequence[Path],
+    root: Path,
+    rules,
+    baseline_factory=None,
+    suppress: bool = False,
+    max_passes: int = MAX_PASSES,
+) -> FixReport:
+    """Apply autofixes under ``root`` until a pass changes nothing.
+
+    ``baseline_factory`` builds a fresh :class:`~.baseline.Baseline` per
+    lint pass (claiming is stateful, so one instance cannot be reused):
+    baselined findings were a decision to *keep* the code as-is, so the
+    fixer never rewrites or suppresses them — only *new* findings are
+    candidates.
+    """
+    baseline_factory = baseline_factory or (lambda: None)
+    report = FixReport()
+    for _ in range(max_passes):
+        report.passes += 1
+        if _one_pass(paths, root, rules, baseline_factory, report) == 0:
+            break
+    if suppress:
+        _suppress_pass(paths, root, rules, baseline_factory, report)
+    result = run_lint(paths, root=root, rules=rules, baseline=baseline_factory())
+    report.remaining = len(result.findings)
+    return report

@@ -28,14 +28,31 @@ class Rule:
 
     Subclasses set ``id`` (``R\\d{3}``), ``title``, ``severity`` and a
     one-paragraph ``description`` (shown by ``--list-rules``), override
-    :meth:`check`, and optionally :meth:`applies` to scope themselves to
-    a subset of the tree.
+    :meth:`check` (or :meth:`check_project` for ``scope = "project"``),
+    and optionally :meth:`applies` to scope themselves to a subset of
+    the tree.
+
+    Two orthogonal graph knobs drive dispatch and cache keying:
+
+    * ``scope`` — ``"file"`` rules run per module via :meth:`check`;
+      ``"project"`` rules run once per lint via :meth:`check_project`
+      and see the whole :class:`~.project.ProjectGraph`.
+    * ``uses_project`` — a *file*-scope rule that consults the graph
+      (or sibling files through ``ctx.read_project_file``) sets this so
+      the incremental cache re-runs it when *any* file changes, not
+      just its own.  Project-scope rules imply it.
     """
 
     id: str = ""
     title: str = ""
     severity: Severity = Severity.ERROR
     description: str = ""
+    scope: str = "file"  # "file" | "project"
+    uses_project: bool = False
+
+    @property
+    def needs_graph(self) -> bool:
+        return self.scope == "project" or self.uses_project
 
     def applies(self, relpath: str) -> bool:
         """Whether this rule runs on the module at ``relpath`` (posix)."""
@@ -44,9 +61,23 @@ class Rule:
     def check(self, unit: "ModuleUnit", ctx: "LintContext") -> Iterator[Finding]:
         raise NotImplementedError
 
+    def check_project(self, ctx: "LintContext") -> Iterator[Finding]:
+        """Project-scope entry: ``ctx.project`` holds the graph.
+
+        Findings must still be built against the :class:`ModuleUnit`
+        they belong to (via :meth:`finding`) so paths, source lines and
+        suppressions resolve normally.
+        """
+        raise NotImplementedError
+
     # ------------------------------------------------------------------
     def finding(
-        self, unit: "ModuleUnit", line: int, col: int, message: str
+        self,
+        unit: "ModuleUnit",
+        line: int,
+        col: int,
+        message: str,
+        fix: dict = None,
     ) -> Finding:
         """Build a finding for this rule at ``(line, col)`` of ``unit``."""
         code = ""
@@ -60,6 +91,7 @@ class Rule:
             col=col,
             message=message,
             code=code,
+            fix=fix,
         )
 
 

@@ -1,12 +1,20 @@
-"""Text and JSON reporters for lint results."""
+"""Text, JSON and SARIF reporters for lint results."""
 
 from __future__ import annotations
 
 import json
-from typing import IO
+from pathlib import Path
+from typing import IO, Optional, Sequence
 
 from .engine import LintResult
+from .findings import Finding
 from .registry import Rule
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
 def report_text(result: LintResult, out: IO[str], verbose: bool = False) -> None:
@@ -46,6 +54,97 @@ def report_json(result: LintResult, out: IO[str]) -> None:
             "baselined": len(result.baselined),
             "stale": len(result.stale_baseline),
         },
+    }
+    json.dump(payload, out, indent=2)
+    out.write("\n")
+
+
+def _sarif_result(finding: Finding, rule_index: dict) -> dict:
+    out = {
+        "ruleId": finding.rule,
+        "level": finding.severity.value,
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        # SARIF columns are 1-based; ast's are 0-based.
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+    if finding.rule in rule_index:
+        out["ruleIndex"] = rule_index[finding.rule]
+    if finding.code:
+        out["partialFingerprints"] = {
+            # Mirrors the baseline's content key: stable across edits
+            # that merely shift line numbers.
+            "reprolint/v1": f"{finding.rule}:{finding.path}:{finding.code}"
+        }
+    if finding.baselined:
+        out["suppressions"] = [
+            {"kind": "external", "justification": "reprolint baseline"}
+        ]
+    return out
+
+
+def report_sarif(
+    result: LintResult,
+    rules: Sequence[Rule],
+    out: IO[str],
+    root: Optional[Path] = None,
+) -> None:
+    """SARIF 2.1.0 report so CI annotates findings inline on PRs.
+
+    New findings map to plain results; baselined findings are included
+    as *suppressed* results (``suppressions[].kind = "external"``) so
+    SARIF viewers show them greyed out instead of re-opening them.
+    """
+    rule_ids = sorted({r.id for r in rules} | {f.rule for f in result.findings})
+    by_id = {r.id: r for r in rules}
+    descriptors = []
+    for rid in rule_ids:
+        rule = by_id.get(rid)
+        descriptors.append({
+            "id": rid,
+            "name": type(rule).__name__ if rule else rid,
+            "shortDescription": {"text": rule.title if rule else rid},
+            "fullDescription": {"text": rule.description if rule else ""},
+            "defaultConfiguration": {
+                "level": rule.severity.value if rule else "error"
+            },
+        })
+    rule_index = {rid: i for i, rid in enumerate(rule_ids)}
+
+    run: dict = {
+        "tool": {
+            "driver": {
+                "name": "reprolint",
+                "informationUri": "DESIGN.md#9-static-analysis",
+                "rules": descriptors,
+            }
+        },
+        "results": [
+            _sarif_result(f, rule_index)
+            for f in (*result.findings, *result.baselined)
+        ],
+        "columnKind": "utf16CodeUnits",
+    }
+    if root is not None:
+        run["originalUriBaseIds"] = {
+            "SRCROOT": {"uri": Path(root).resolve().as_uri() + "/"}
+        }
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [run],
     }
     json.dump(payload, out, indent=2)
     out.write("\n")

@@ -11,4 +11,7 @@ from . import (  # noqa: F401
     r004_parity,
     r005_float_eq,
     r006_exceptions,
+    r007_ledger_audit,
+    r008_registry,
+    r009_doc_units,
 )

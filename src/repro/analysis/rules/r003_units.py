@@ -1,97 +1,115 @@
-"""R003 — units discipline over identifier suffix conventions.
+"""R003 — units discipline via dataflow over naming conventions.
 
 The two cost-accounting drifts fixed in PR 2 were both
 dollars-vs-hours confusions that type annotations (everything is
-``float``) could never catch.  This rule runs the lightweight
-dimensional pass of :mod:`._dims` over every addition, subtraction and
-comparison: when *both* operands carry a confident dimension
-(``_usd``/``cost_`` dollars, ``_hours`` hours, ``_s``/``_seconds``
-seconds) and the dimensions differ, adding or comparing them is
-meaningless and almost certainly a bug.  Multiplication and division
-are exempt — that is how rates and conversions legitimately work — and
-a function whose *name* declares a unit suffix must not return an
-expression of a conflicting dimension.
+``float``) could never catch.  v1 of this rule compared the *suffixes*
+of the two operands of every addition/comparison; v2 runs the
+intraprocedural dataflow of :mod:`..dataflow` instead, so the dimension
+of a neutral name is learned from what was assigned to it and the
+dimension of a call is resolved through the project graph (callee name
+suffix, or the callee's own returns).  That catches the drift the
+suffix pass provably misses::
+
+    def total(cost_usd, runtime_hours):
+        extra = runtime_hours        # 'extra' learns hours
+        return cost_usd + extra      # v1 silent, v2 flags
+
+Multiplication and division stay exempt — that is how rates and
+conversions legitimately work — and every fact is either confident or
+absent, so rates (``price_per_hour``) and unresolved calls never fire.
+Assignments that *contradict* the target's own suffix are reported once
+at the assignment (and carry a rename autofix hint for ``--fix``)
+instead of cascading at every later use.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Optional
+from typing import Dict, Iterator, Optional, Tuple
 
+from ..dataflow import (
+    ScopeAnalyzer,
+    analyze_scope,
+    default_call_resolver,
+    infer_return_dim,
+    suffix_dim,
+)
 from ..findings import Finding
 from ..registry import Rule, register
-from ._dims import HOURS, MONEY, SECONDS, infer_dim
-
-_COMPARE_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
-
-#: Function-name suffixes that pin the return dimension.
-_RETURN_SUFFIXES = {
-    "_usd": MONEY,
-    "_dollars": MONEY,
-    "_cost": MONEY,
-    "_hours": HOURS,
-    "_hrs": HOURS,
-    "_s": SECONDS,
-    "_seconds": SECONDS,
-}
 
 
-def _return_dim(func_name: str) -> Optional[str]:
-    for suffix, dim in _RETURN_SUFFIXES.items():
-        if func_name.endswith(suffix):
-            return dim
-    return None
+def _graph_resolver(graph, caller_info, memo: Dict[tuple, Optional[str]]):
+    """Call resolver backed by the project graph, one callee level deep."""
+
+    def resolve(name: str) -> Optional[str]:
+        callee = None
+        if graph is not None and caller_info is not None:
+            callee = graph.resolve_call(caller_info, name)
+        if callee is None:
+            return default_call_resolver(name)
+        if callee.key not in memo:
+            memo[callee.key] = None  # recursion guard: in-progress = unknown
+            memo[callee.key] = infer_return_dim(callee.node)
+        return memo[callee.key]
+
+    return resolve
 
 
 @register
 class UnitsDiscipline(Rule):
     id = "R003"
     title = "no additions/comparisons mixing dollars, hours and seconds"
+    uses_project = True  # callee return dims come from the project graph
     description = (
-        "Infers dimensions from naming conventions (_usd/cost_ dollars, "
-        "_hours hours, _s/_seconds seconds) and flags +, - and "
-        "comparisons whose operands confidently disagree, plus functions "
-        "whose unit-suffixed name conflicts with what they return. "
-        "Rates like price_per_hour classify as unknown and never fire."
+        "Dataflow dimensional analysis over naming conventions "
+        "(_usd/cost_ dollars, _hours hours, _s/_seconds seconds): "
+        "dimensions propagate through assignments, augmented "
+        "assignments, returns and call results (resolved via the "
+        "project graph), and +, -, comparisons and += whose operands "
+        "confidently disagree are flagged, as are functions and "
+        "variables whose unit-suffixed name conflicts with their "
+        "value. Rates like price_per_hour classify as unknown and "
+        "never fire."
     )
 
     def check(self, unit, ctx) -> Iterator[Finding]:
+        graph = ctx.project
+        syms = graph.by_relpath.get(unit.relpath) if graph is not None else None
+        by_node: Dict[int, object] = {}
+        if syms is not None:
+            for info in syms.functions.values():
+                by_node[id(info.node)] = info
+        memo: Dict[tuple, Optional[str]] = {}
+
+        # Module-level statements (run() skips nested defs/classes).
+        yield from self._emit(
+            unit,
+            analyze_scope(unit.tree.body, resolver=default_call_resolver),
+        )
+
         for node in ast.walk(unit.tree):
-            if isinstance(node, ast.BinOp) and isinstance(
-                node.op, (ast.Add, ast.Sub)
-            ):
-                left = infer_dim(node.left)
-                right = infer_dim(node.right)
-                if left is not None and right is not None and left != right:
-                    op = "+" if isinstance(node.op, ast.Add) else "-"
-                    yield self.finding(
-                        unit, node.lineno, node.col_offset,
-                        f"'{op}' mixes {left} and {right}; convert through "
-                        "repro.units before combining",
-                    )
-            elif isinstance(node, ast.Compare):
-                operands = [node.left, *node.comparators]
-                for op, lhs, rhs in zip(node.ops, operands, operands[1:]):
-                    if not isinstance(op, _COMPARE_OPS):
-                        continue
-                    left = infer_dim(lhs)
-                    right = infer_dim(rhs)
-                    if left is not None and right is not None and left != right:
-                        yield self.finding(
-                            unit, node.lineno, node.col_offset,
-                            f"comparison mixes {left} and {right}; one side "
-                            "needs a repro.units conversion",
-                        )
+            if isinstance(node, ast.ClassDef):
+                yield from self._emit(
+                    unit,
+                    analyze_scope(node.body, resolver=default_call_resolver),
+                )
             elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                declared = _return_dim(node.name)
-                if declared is None:
-                    continue
-                for sub in ast.walk(node):
-                    if isinstance(sub, ast.Return) and sub.value is not None:
-                        got = infer_dim(sub.value)
-                        if got is not None and got != declared:
-                            yield self.finding(
-                                unit, sub.lineno, sub.col_offset,
-                                f"{node.name}() declares {declared} by suffix "
-                                f"but returns a {got}-dimensioned expression",
-                            )
+                info = by_node.get(id(node))
+                resolver = _graph_resolver(graph, info, memo)
+                params = tuple(a.arg for a in node.args.args)
+                yield from self._emit(
+                    unit,
+                    analyze_scope(
+                        node.body,
+                        params=params,
+                        resolver=resolver,
+                        declared_return=suffix_dim(node.name),
+                        fn_name=node.name,
+                    ),
+                )
+
+    def _emit(self, unit, analysis: ScopeAnalyzer) -> Iterator[Finding]:
+        for issue in analysis.issues:
+            yield self.finding(
+                unit, issue.lineno, issue.col, issue.message, fix=issue.fix
+            )

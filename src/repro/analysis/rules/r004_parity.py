@@ -48,6 +48,9 @@ def _find_oracles(tree: ast.Module) -> Optional[ast.Dict]:
 class KernelOraclePairing(Rule):
     id = "R004"
     title = "vectorized kernels paired with scalar oracles and parity tests"
+    # Reads the parity-test source through ctx.read_project_file, so its
+    # findings must invalidate with the project, not just this file.
+    uses_project = True
     description = (
         "execution/kernels.py, execution/batch_replay.py and "
         "market/correlated.py must define KERNEL_ORACLES mapping each "

@@ -1,0 +1,142 @@
+"""R007 — every CostLedger construction must reach a repro.obs audit hook.
+
+The checkpoint-storage drift fixed in PR 2 survived for three PRs
+because a ledger was *built* but never *reconciled*: the executor path
+constructed a ``CostLedger``, summed its own total, and no audit ever
+compared the two.  The ``repro.obs`` contract since then is that every
+path constructing a ledger threads its result through an audit hook
+(``observe_result`` → ``audit_run_result``, or
+``audit_adaptive_result``), where conservation invariants re-derive the
+bill record by record.
+
+This is precisely the invariant no single file can witness: the
+construction lives in one module, the hook two calls away in another.
+The rule therefore runs on the project graph — it collects every
+``CostLedger(...)`` call site, computes the set of functions from which
+an audit hook is reachable (reverse BFS over the call graph), and flags
+constructions in functions outside that set.
+
+Exempt by construction: the module that *defines* ``CostLedger`` (the
+billing layer builds ledgers to model them, not to bill), the ``obs``
+package itself (the auditor re-derives ledgers as oracles), and test
+trees.  Dataclass ``default_factory=CostLedger`` references are not
+calls and never match — an empty default ledger carries no money.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List, Set, Tuple
+
+from ..findings import Finding
+from ..registry import Rule, register
+from ..symbols import dotted_name
+
+#: A call resolving (or literally written) like this is an audit hook.
+_AUDIT_LEAF_RE = re.compile(r"^audit_\w+$")
+_OBS_MODULE_RE = re.compile(r"(^|\.)obs(\.|$)")
+
+#: Modules exempt from the construction check (posix relpath patterns).
+_EXEMPT_PATH_RE = re.compile(r"(^|/)(tests?|obs)(/|$)|(^|/)billing\.py$")
+
+
+def _is_audit_name(dotted: str) -> bool:
+    head, _, leaf = dotted.rpartition(".")
+    return bool(_AUDIT_LEAF_RE.match(leaf)) and bool(
+        _OBS_MODULE_RE.search(head or "")
+    )
+
+
+@register
+class LedgerAuditCoverage(Rule):
+    id = "R007"
+    title = "CostLedger constructions thread through repro.obs audit hooks"
+    scope = "project"
+    description = (
+        "Whole-program rule: collects every CostLedger(...) call site, "
+        "computes (over the project call graph) the set of functions "
+        "from which a repro.obs audit hook (obs.audit_*) is reachable, "
+        "and flags ledger constructions in functions that can never "
+        "reach one — a bill that is built but never reconciled. The "
+        "billing module, the obs package and tests are exempt."
+    )
+
+    def check_project(self, ctx) -> Iterator[Finding]:
+        graph = ctx.project
+        if graph is None:
+            return
+
+        # --- audit sinks: obs functions named audit_*, plus any call
+        # written/resolved as obs.audit_* that the graph cannot see
+        # (e.g. linting a subtree without the obs package).
+        sink_keys: Set[Tuple[str, str]] = set()
+        for info in graph.functions.values():
+            if _AUDIT_LEAF_RE.match(info.name) and _OBS_MODULE_RE.search(
+                info.module
+            ):
+                sink_keys.add(info.key)
+        for info in graph.functions.values():
+            for call in info.calls:
+                if graph.resolve_call(info, call.name) is not None:
+                    continue
+                syms = graph.modules.get(info.module)
+                absolute = syms.resolve_local(call.name) if syms else None
+                if _is_audit_name(absolute or call.name):
+                    sink_keys.add(info.key)  # direct caller of an unseen hook
+                    break
+
+        audited = graph.reaching(sink_keys)
+
+        # --- every CostLedger(...) construction site.  Nested defs are
+        # walked by their enclosing function too, so first collect the
+        # sites of every audited scope, then report each remaining site
+        # once — a site is fine when *any* enclosing scope reaches a
+        # hook.
+        covered: Set[Tuple[str, int, int]] = set()
+        pending = []  # (info, syms, sites) for unaudited scopes
+        for info in graph.functions.values():
+            syms = graph.modules.get(info.module)
+            if syms is None or _EXEMPT_PATH_RE.search(syms.relpath):
+                continue
+            sites = self._construction_sites(info.node, syms)
+            if not sites:
+                continue
+            if info.key in audited:
+                covered.update((syms.relpath, *site) for site in sites)
+            else:
+                pending.append((info, syms, sites))
+
+        reported: Set[Tuple[str, int, int]] = set()
+        for info, syms, sites in pending:
+            for lineno, col in sites:
+                key = (syms.relpath, lineno, col)
+                if key in covered or key in reported:
+                    continue
+                reported.add(key)
+                yield self.finding(
+                    syms.unit, lineno, col,
+                    f"{info.qualname}() constructs a CostLedger but no "
+                    "repro.obs audit hook (obs.audit_*) is reachable from "
+                    "it in the call graph; thread the result through "
+                    "observe_result/audit_adaptive_result so the bill is "
+                    "reconciled",
+                )
+
+    @staticmethod
+    def _construction_sites(fn_node: ast.AST, syms) -> List[Tuple[int, int]]:
+        sites: List[Tuple[int, int]] = []
+        for sub in ast.walk(fn_node):
+            if not isinstance(sub, ast.Call):
+                continue
+            name = dotted_name(sub.func)
+            if not name:
+                continue
+            leaf = name.rsplit(".", 1)[-1]
+            if leaf != "CostLedger":
+                continue
+            resolved = syms.resolve_local(name)
+            if resolved is not None and not resolved.endswith("CostLedger"):
+                continue  # locally shadowed by something else
+            sites.append((sub.lineno, sub.col_offset))
+        return sites

@@ -1,0 +1,87 @@
+"""R008 — every experiment module must be registered with the runner.
+
+``python -m repro.experiments.runner`` is the single entry point the
+paper sweep, CI and the results JSON all go through; an experiment
+module that exists on disk but is missing from the runner's
+``_all_experiments`` registry silently drops out of every sweep — the
+tables keep printing, nothing fails, and a figure quietly stops being
+reproduced.  (This is the registry-hygiene item ROADMAP queued for
+reprolint after PR 4.)
+
+Project-graph rule: a module under ``repro/experiments/`` whose
+filename marks it as a runnable experiment (``figN_*``, ``table*``,
+``ext_*``, ``param_*``, ``accuracy``, ``reduction``) must be invoked —
+through its import alias — somewhere in the body of the function named
+``_all_experiments`` of a module that defines one.  Infrastructure
+modules (``common``, ``env``, ``runner`` itself, ``__init__``) are not
+experiments and are exempt.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, Set
+
+from ..findings import Finding
+from ..registry import Rule, register
+
+REGISTRY_FUNCTION = "_all_experiments"
+
+#: Filenames under repro/experiments/ that are runnable experiments.
+_EXPERIMENT_FILE_RE = re.compile(
+    r"(^|/)repro/experiments/"
+    r"(fig\d+\w*|table\d+\w*|ext_\w+|param_\w+|accuracy|reduction)\.py$"
+)
+
+
+@register
+class ExperimentRegistry(Rule):
+    id = "R008"
+    title = "experiment modules registered in the runner's _all_experiments"
+    scope = "project"
+    description = (
+        "Whole-program rule: every repro/experiments/ module whose name "
+        "marks it as a runnable experiment (figN_*, tableN_*, ext_*, "
+        "param_*, accuracy, reduction) must be called through its alias "
+        "inside the _all_experiments registry function, so no figure "
+        "can silently drop out of the sweep. common/env/runner are "
+        "infrastructure and exempt."
+    )
+
+    def check_project(self, ctx) -> Iterator[Finding]:
+        graph = ctx.project
+        if graph is None:
+            return
+
+        registries = [
+            (syms, syms.functions[REGISTRY_FUNCTION])
+            for syms in graph.modules.values()
+            if REGISTRY_FUNCTION in syms.functions
+        ]
+        experiment_mods = [
+            syms
+            for syms in graph.modules.values()
+            if _EXPERIMENT_FILE_RE.search(syms.relpath)
+        ]
+        if not registries or not experiment_mods:
+            return  # no registry (or no experiments) in the linted set
+
+        registered: Set[str] = set()
+        for runner_syms, registry_fn in registries:
+            for call in registry_fn.calls:
+                absolute = runner_syms.resolve_local(call.name)
+                if absolute is None:
+                    continue
+                mod = graph._containing_module(absolute)
+                if mod is not None:
+                    registered.add(mod)
+
+        for syms in experiment_mods:
+            if syms.module in registered:
+                continue
+            yield self.finding(
+                syms.unit, 1, 0,
+                f"experiment module {syms.module} is never invoked from "
+                f"{REGISTRY_FUNCTION}(); register it so sweeps, CI and "
+                "the results JSON include it",
+            )

@@ -1,0 +1,127 @@
+"""R009 — docstring unit declarations must match suffix conventions.
+
+The unit discipline is carried by two channels: identifier suffixes
+(checked by R003's dataflow) and prose — ``"Wall-clock duration in
+hours."`` — which readers and callers trust just as much.  When the two
+drift (``def transfer_hours`` documented as *seconds*), one of them is
+lying, and whichever a maintainer believes, the next conversion they
+write is wrong by 3600×.
+
+The rule cross-checks, per function:
+
+* the **return**: a unit suffix on the function name
+  (``_usd``/``_hours``/``_s``…) against the unit declared by a Sphinx
+  ``:returns:`` field or an ``in <unit>`` phrase in the summary line;
+* each **parameter**: a unit suffix on the parameter name against its
+  ``:param name:`` field.
+
+Both sides must be confident: docstring text mentioning more than one
+unit (``"dollars per hour"``, conversion helpers) classifies as
+ambiguous and never fires — the same conservatism contract as R003.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional
+
+from ..dataflow import HOURS, MONEY, SECONDS, suffix_dim
+from ..findings import Finding
+from ..registry import Rule, register
+
+_WORD_DIMS = (
+    (re.compile(r"\b(dollars?|usd)\b", re.I), MONEY),
+    (re.compile(r"\bhours?\b|\bhrs\b", re.I), HOURS),
+    (re.compile(r"\bseconds?\b|\bsecs\b", re.I), SECONDS),
+)
+_IN_UNIT_RE = re.compile(r"\bin\s+(us\s+)?(dollars?|usd|hours?|hrs|seconds?|secs)\b", re.I)
+_FIELD_RE = re.compile(r"^\s*:(\w+)([^:]*):\s*(.*)$")
+
+
+def _text_dim(text: str) -> Optional[str]:
+    """The single unit a prose fragment mentions, or None if 0 or 2+."""
+    dims = {dim for rx, dim in _WORD_DIMS if rx.search(text)}
+    return dims.pop() if len(dims) == 1 else None
+
+
+def _field_bodies(doc: str) -> dict:
+    """Sphinx-style fields: ``{"returns": text, "param x": text, ...}``."""
+    out: dict = {}
+    key = None
+    for line in doc.splitlines():
+        m = _FIELD_RE.match(line)
+        if m:
+            name, arg = m.group(1).lower(), m.group(2).strip()
+            key = f"{name} {arg}".strip()
+            out[key] = m.group(3)
+        elif key is not None and line.strip():
+            out[key] += " " + line.strip()
+        else:
+            key = None
+    return out
+
+
+def _summary_return_dim(doc: str) -> Optional[str]:
+    """Unit declared by ``in <unit>`` phrases of the summary paragraph."""
+    summary = doc.split("\n\n", 1)[0]
+    phrases = _IN_UNIT_RE.findall(summary)
+    if not phrases:
+        return None
+    return _text_dim(" ".join(p[1] for p in phrases))
+
+
+@register
+class DocstringUnits(Rule):
+    id = "R009"
+    title = "docstring unit declarations agree with name-suffix conventions"
+    description = (
+        "Cross-checks the unit a docstring declares (a Sphinx "
+        ":returns:/:param x: field, or an 'in <unit>' phrase in the "
+        "summary line) against the unit the function or parameter name "
+        "declares by suffix (_usd/_hours/_s). Text mentioning several "
+        "units (rates, conversion helpers) is ambiguous and exempt; "
+        "both sides must be confident for the rule to fire."
+    )
+
+    def check(self, unit, ctx) -> Iterator[Finding]:
+        for node in ast.walk(unit.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            doc = ast.get_docstring(node)
+            if not doc:
+                continue
+            fields = _field_bodies(doc)
+
+            declared = suffix_dim(node.name)
+            if declared is not None:
+                doc_dim = None
+                for key in ("returns", "return"):
+                    if key in fields:
+                        doc_dim = _text_dim(fields[key])
+                        break
+                else:
+                    doc_dim = _summary_return_dim(doc)
+                if doc_dim is not None and doc_dim != declared:
+                    yield self.finding(
+                        unit, node.lineno, node.col_offset,
+                        f"{node.name}() declares {declared} by suffix but "
+                        f"its docstring says it returns {doc_dim}; fix "
+                        "whichever is lying",
+                    )
+
+            for arg in node.args.args + node.args.kwonlyargs:
+                param_dim = suffix_dim(arg.arg)
+                if param_dim is None:
+                    continue
+                body = fields.get(f"param {arg.arg}")
+                if body is None:
+                    continue
+                doc_dim = _text_dim(body)
+                if doc_dim is not None and doc_dim != param_dim:
+                    yield self.finding(
+                        unit, node.lineno, node.col_offset,
+                        f"parameter {arg.arg!r} of {node.name}() declares "
+                        f"{param_dim} by suffix but its :param: doc says "
+                        f"{doc_dim}",
+                    )

@@ -117,6 +117,8 @@ def relative_difference(actual: float, estimate: float) -> float:
     Defined as 0 when both values are 0, and as ``inf`` when the reference
     is 0 but the estimate is not.
     """
+    # reprolint: disable=R005 -- piecewise metric definition: reference exactly 0
     if actual == 0.0:
+        # reprolint: disable=R005 -- same piecewise case: estimate exactly 0
         return 0.0 if estimate == 0.0 else float("inf")
     return abs(actual - estimate) / abs(actual)

@@ -621,7 +621,8 @@ class TestFramework:
     def test_every_rule_registered_with_description(self):
         rules = get_rules()
         assert [r.id for r in rules] == [
-            "R001", "R002", "R003", "R004", "R005", "R006"
+            "R001", "R002", "R003", "R004", "R005", "R006",
+            "R007", "R008", "R009",
         ]
         for rule in rules:
             assert rule.title and rule.description
