@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint lint-fix audit bench bench-full experiments quick
+.PHONY: test lint lint-fix audit bench bench-full experiments quick clean-pyc
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -32,6 +32,13 @@ bench:
 
 bench-full:
 	$(PYTHON) -m benchmarks.perf $(if $(FORCE),--force,)
+
+## Remove byte-compiled caches.  A stale __pycache__ can shadow edited
+## modules (and silently defeat the engine-fingerprint invalidation of
+## the artifact store); none may ever be tracked — CI asserts that.
+clean-pyc:
+	find . -name __pycache__ -prune -exec rm -rf {} +
+	find . -name '*.py[co]' -delete
 
 experiments:
 	$(PYTHON) -m repro.experiments.runner

@@ -1,0 +1,65 @@
+"""Profile the planning pipeline across its cache tiers.
+
+``PYTHONPATH=src python -m benchmarks.perf.profile_planning`` times the
+quick-case workload on the seed / cold-boot / cold-disk / warm tiers
+(see :mod:`.planning`) and prints a cProfile table of the cold-disk
+pass — the tier the regression guard watches.  This is the evidence
+trail behind the DESIGN.md §10 numbers: when a tier gets slower, the
+table says which function grew.
+
+The artifact store is pointed at a temporary directory, so profiling
+never touches (or benefits from) the user's real cache.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pathlib
+import pstats
+import tempfile
+
+from repro.core.two_level import clear_shared_caches
+from repro.experiments.env import ExperimentEnv
+
+from .planning import _QUICK_CASES, _plan_all
+
+
+def main(top: int = 25) -> None:
+    env = ExperimentEnv.paper_default()
+    with tempfile.TemporaryDirectory(prefix="repro-profile-art-") as tmp:
+        root = pathlib.Path(tmp)
+        disk = str(root / "disk")
+
+        clear_shared_caches()
+        _, seed_s, _ = _plan_all(env, _QUICK_CASES, cached=False)
+        clear_shared_caches()
+        _, boot_s, _ = _plan_all(
+            env, _QUICK_CASES, cached=True, art_dir=str(root / "boot")
+        )
+        clear_shared_caches()
+        _plan_all(env, _QUICK_CASES, cached=True, art_dir=disk)
+        clear_shared_caches()
+        _, disk_s, _ = _plan_all(env, _QUICK_CASES, cached=True, art_dir=disk)
+        shared: dict = {}
+        _plan_all(env, _QUICK_CASES, cached=True, art_dir=disk, model_sets=shared)
+        _, warm_s, _ = _plan_all(
+            env, _QUICK_CASES, cached=True, art_dir=disk, model_sets=shared
+        )
+
+        print(f"seed      {seed_s:8.4f} s   1.00x")
+        print(f"cold boot {boot_s:8.4f} s   {seed_s / boot_s:5.2f}x")
+        print(f"cold disk {disk_s:8.4f} s   {seed_s / disk_s:5.2f}x")
+        print(f"warm      {warm_s:8.4f} s   {seed_s / warm_s:5.2f}x")
+        print()
+
+        clear_shared_caches()
+        profiler = cProfile.Profile()
+        profiler.enable()
+        _plan_all(env, _QUICK_CASES, cached=True, art_dir=disk)
+        profiler.disable()
+        stats = pstats.Stats(profiler)
+        stats.sort_stats("cumulative").print_stats(top)
+
+
+if __name__ == "__main__":
+    main()

@@ -121,6 +121,17 @@ def infer_dim(node: ast.AST) -> Optional[str]:
 #: per analysed function; without a graph a suffix-only fallback runs.
 CallResolver = Callable[[str], Optional[str]]
 
+#: Resolves the positional parameter names of a call written as
+#: ``name`` (including a leading ``self``/``cls`` when the callee is a
+#: method), or None when the callee is unknown.  This is what carries a
+#: caller's dataflow facts *into* the callee's signature: each argument
+#: binding is checked against the dimension the parameter name
+#: declares, so ``schedule(total_usd)`` into ``def schedule(
+#: delay_hours)`` fires even though both sides are individually
+#: consistent — a class of drift neither the suffix pass nor the
+#: intraprocedural pass can see.
+ParamResolver = Callable[[str], Optional[Tuple[str, ...]]]
+
 _COMPARE_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
 
 
@@ -129,7 +140,7 @@ class UnitIssue:
     """One dimensional inconsistency found by the propagator."""
 
     kind: str  # "mix-add" | "mix-compare" | "mix-augassign" |
-    #            "assign-suffix" | "return-suffix"
+    #            "mix-arg" | "assign-suffix" | "return-suffix"
     lineno: int
     col: int
     message: str
@@ -174,8 +185,10 @@ class ScopeAnalyzer:
         resolver: Optional[CallResolver] = None,
         declared_return: Optional[str] = None,
         fn_name: str = "",
+        param_resolver: Optional[ParamResolver] = None,
     ) -> None:
         self.resolver = resolver or default_call_resolver
+        self.param_resolver = param_resolver
         self.declared_return = declared_return
         self.fn_name = fn_name
         self.env: Dict[str, Optional[str]] = {}
@@ -254,6 +267,49 @@ class ScopeAnalyzer:
                             f"comparison mixes {left} and {right}; one side "
                             "needs a repro.units conversion",
                         ))
+            elif isinstance(node, ast.Call) and self.param_resolver is not None:
+                self._check_call_args(node)
+
+    def _check_call_args(self, node: ast.Call) -> None:
+        """Bind caller facts to the callee's parameter names.
+
+        Positional binding stops at the first ``*args`` splat (alignment
+        is unknowable past it); keywords match by name.  A leading
+        ``self``/``cls`` parameter is skipped only for attribute-style
+        calls (``obj.meth(x)``), where the receiver fills it — for a
+        plain ``fn(a, b)`` the parameters align as written.
+        """
+        name = _call_name(node)
+        if not name:
+            return
+        params = self.param_resolver(name)
+        if not params:
+            return
+        if params[0] in ("self", "cls") and isinstance(
+            node.func, ast.Attribute
+        ):
+            params = params[1:]
+        for pname, arg in zip(params, node.args):
+            if isinstance(arg, ast.Starred):
+                break
+            self._check_binding(pname, arg)
+        named = set(params)
+        for kw in node.keywords:
+            if kw.arg is not None and kw.arg in named:
+                self._check_binding(kw.arg, kw.value)
+
+    def _check_binding(self, pname: str, arg: ast.expr) -> None:
+        declared = classify_name(pname)
+        if declared is None:
+            return
+        got = self.infer(arg)
+        if got is not None and got != declared:
+            self.issues.append(UnitIssue(
+                "mix-arg", arg.lineno, arg.col_offset,
+                f"argument bound to parameter {pname!r} ({declared}) is a "
+                f"{got}-dimensioned value; convert through repro.units at "
+                "the call site",
+            ))
 
     # ------------------------------------------------------ statements
     def _bind(self, name: str, value_dim: Optional[str], node: ast.stmt) -> None:
@@ -365,10 +421,12 @@ def analyze_scope(
     resolver: Optional[CallResolver] = None,
     declared_return: Optional[str] = None,
     fn_name: str = "",
+    param_resolver: Optional[ParamResolver] = None,
 ) -> ScopeAnalyzer:
     """Analyse one scope body; returns the finished analyzer."""
     analyzer = ScopeAnalyzer(
-        resolver=resolver, declared_return=declared_return, fn_name=fn_name
+        resolver=resolver, declared_return=declared_return, fn_name=fn_name,
+        param_resolver=param_resolver,
     )
     for param in params:
         dim = classify_name(param)

@@ -55,6 +55,23 @@ def _graph_resolver(graph, caller_info, memo: Dict[tuple, Optional[str]]):
     return resolve
 
 
+def _graph_param_resolver(graph, caller_info):
+    """Parameter-name resolver: carries caller facts into the callee's
+    signature (the ``mix-arg`` check).  Unresolvable calls yield None —
+    the graph's under-approximation contract means a missing edge can
+    only miss findings, never invent them."""
+
+    def resolve(name: str) -> Optional[Tuple[str, ...]]:
+        if graph is None or caller_info is None:
+            return None
+        callee = graph.resolve_call(caller_info, name)
+        if callee is None:
+            return None
+        return tuple(a.arg for a in callee.node.args.args)
+
+    return resolve
+
+
 @register
 class UnitsDiscipline(Rule):
     id = "R003"
@@ -68,8 +85,9 @@ class UnitsDiscipline(Rule):
         "project graph), and +, -, comparisons and += whose operands "
         "confidently disagree are flagged, as are functions and "
         "variables whose unit-suffixed name conflicts with their "
-        "value. Rates like price_per_hour classify as unknown and "
-        "never fire."
+        "value, and call arguments whose dimension contradicts the "
+        "callee parameter they bind to. Rates like price_per_hour "
+        "classify as unknown and never fire."
     )
 
     def check(self, unit, ctx) -> Iterator[Finding]:
@@ -105,6 +123,7 @@ class UnitsDiscipline(Rule):
                         resolver=resolver,
                         declared_return=suffix_dim(node.name),
                         fn_name=node.name,
+                        param_resolver=_graph_param_resolver(graph, info),
                     ),
                 )
 

@@ -22,6 +22,7 @@ from ..registry import Rule, register
 
 #: Modules bound by the kernel/oracle pairing contract.
 KERNEL_MODULES = (
+    "repro/core/grid_eval.py",
     "repro/execution/kernels.py",
     "repro/execution/batch_replay.py",
     "repro/market/correlated.py",
@@ -52,11 +53,12 @@ class KernelOraclePairing(Rule):
     # findings must invalidate with the project, not just this file.
     uses_project = True
     description = (
-        "execution/kernels.py, execution/batch_replay.py and "
-        "market/correlated.py must define KERNEL_ORACLES mapping each "
-        "public function to its scalar reference (dotted path); every "
-        "mapped kernel must appear in tests/test_batch_parity.py. "
-        "Unmapped public functions are unverified rewrites."
+        "core/grid_eval.py, execution/kernels.py, "
+        "execution/batch_replay.py and market/correlated.py must define "
+        "KERNEL_ORACLES mapping each public function to its scalar "
+        "reference (dotted path); every mapped kernel must appear in "
+        "tests/test_batch_parity.py. Unmapped public functions are "
+        "unverified rewrites."
     )
 
     def applies(self, relpath: str) -> bool:

@@ -58,6 +58,26 @@ class SompiConfig:
         instances (see DESIGN.md "Performance").  The caches are exact —
         keyed by every input that enters the computation — so disabling
         this only trades speed for memory; results are unchanged.
+    artifact_cache:
+        Persist those tables (and the kernels' per-(trace, bid) index
+        tables) to the on-disk artifact store
+        (:mod:`repro.execution.artifacts`), so a *cold process* warms
+        from disk instead of rebuilding.  Artifacts are keyed by trace
+        content hash + engine fingerprint and loads are fail-open, so
+        results are bit-identical with the store on, off, deleted or
+        corrupted.  Requires ``table_cache``; ignored without it.
+    artifact_dir:
+        Root directory of the artifact store.  ``None`` (default)
+        resolves via the ``REPRO_ARTIFACT_DIR`` environment variable,
+        falling back to the user cache directory.
+    grid_eval:
+        Evaluate each subset's (bid x interval) candidate grid with the
+        one-shot vectorized evaluator (:mod:`repro.core.grid_eval`)
+        instead of the scalar per-combo loop.  The two paths are
+        bit-identical by construction (the grid evaluator is a
+        KERNEL_ORACLES kernel with exact-parity tests against the
+        scalar oracle); this flag exists for A/B benchmarking and as a
+        fallback switch.
     audit:
         Assert the :mod:`repro.obs` conservation invariants on every
         result an executor built with this config produces (DESIGN.md
@@ -80,6 +100,9 @@ class SompiConfig:
     checkpointing: bool = True
     max_miss_probability: float | None = None
     table_cache: bool = True
+    artifact_cache: bool = True
+    artifact_dir: str | None = None
+    grid_eval: bool = True
     audit: bool = False
 
     def __post_init__(self) -> None:

@@ -1,0 +1,208 @@
+"""One-shot candidate-grid kernels for the planner (DESIGN.md §10).
+
+The cold planning path used to spend most of its time in scalar Python
+loops over candidate grids: :func:`repro.core.interval.optimal_interval`
+builds one :class:`~repro.core.cost_model.GroupOutcome` per interval
+candidate (tens of array allocations and pmf validations each), the bid
+candidates are generated market by market, and every subset's pruning
+bound is re-derived from Python generator expressions.  This module
+evaluates each of those grids as **one** array program over the same
+float64 inputs.
+
+The hard contract is the kernel layer's (DESIGN.md §8): **bit identity**
+with the scalar code being replaced — same IEEE-754 operations applied
+in the same order, elementwise.  Concretely:
+
+* every elementwise formula below is copied operation-for-operation
+  from its scalar oracle (broadcasting a column of interval candidates
+  against a row of outcomes performs the identical multiply/divide per
+  element that the scalar loop performs one candidate at a time);
+* reductions that the scalar path runs as 1-D ``np.dot`` stay per-row
+  1-D ``np.dot`` here (a matrix-vector product may associate
+  differently in the last ulp);
+* sequential accumulations (``sum``, ``*=``, ``max`` over groups in
+  subset order) stay sequential per position, so the float operation
+  order is unchanged;
+* winner selection replicates the scalar incumbent loop — strict
+  comparison against the running best, first winner kept.
+
+``KERNEL_ORACLES`` declares the scalar reference of every public
+function (reprolint R004) and ``tests/test_batch_parity.py`` pins exact
+equality on representative and adversarial grids.  Everything here is a
+pure function of its arguments: no caches, no config reads — gating by
+``config.grid_eval`` happens at the call sites in :mod:`.two_level` and
+:mod:`.subset`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..units import check_positive
+from .interval import _interval_candidates, young_interval
+from .problem import CircleGroupSpec, OnDemandOption
+from .ratio import _COMPLETE_ATOL
+
+#: Scalar reference for every public kernel (reprolint R004): the
+#: vectorized function must be bit-identical to the dotted scalar path,
+#: verified by tests/test_batch_parity.py.
+KERNEL_ORACLES = {
+    "bid_matrix_rows": "repro.core.bid_search.log_bid_candidates",
+    "outcome_grid": "repro.core.cost_model.GroupOutcome.from_pmf",
+    "optimal_interval_grid": "repro.core.interval.optimal_interval",
+    "subset_bounds": "repro.core.two_level.TwoLevelOptimizer._subset_bound",
+}
+
+
+def bid_matrix_rows(
+    max_prices: Sequence[float], levels: int, floor_prices: Sequence[float]
+) -> List[np.ndarray]:
+    """Per-market geometric bid candidates, whole grid in one program.
+
+    Row ``i`` equals ``log_bid_candidates(max_prices[i], levels,
+    floor_prices[i])`` exactly: the ``(markets, levels + 1)`` candidate
+    matrix is one broadcast multiply (each element is the same single
+    ``H * 2**(j - levels)`` product the scalar path computes), and the
+    floor clip + dedup run per row on identical values.
+    """
+    if levels < 1:
+        raise ConfigurationError(f"levels must be >= 1, got {levels}")
+    maxima = np.asarray(max_prices, dtype=float)
+    floors = np.asarray(floor_prices, dtype=float)
+    if maxima.shape != floors.shape or maxima.ndim != 1:
+        raise ConfigurationError(
+            "max_prices and floor_prices must be 1-D of equal length"
+        )
+    for hi, lo in zip(maxima, floors):
+        check_positive("max_price", float(hi))
+        check_positive("floor_price", float(lo))
+        if lo > hi:
+            raise ConfigurationError(
+                f"floor_price {lo} exceeds max_price {hi}"
+            )
+    steps = np.exp2(np.arange(levels + 1, dtype=float) - levels)
+    grid = maxima[:, None] * steps[None, :]
+    return [
+        np.unique(np.maximum(row, lo)) for row, lo in zip(grid, floors)
+    ]
+
+
+def outcome_grid(
+    spec: CircleGroupSpec,
+    intervals: np.ndarray,
+    n_steps: int,
+    step_hours: float,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Outcome tables for every interval candidate at once.
+
+    Returns ``(productive, wall, ratios)`` where ``productive`` is the
+    shared ``(n_steps + 1,)`` outcome row and ``wall`` / ``ratios`` are
+    ``(candidates, n_steps + 1)``; row ``c`` is bit-identical to the
+    ``wall`` / ``ratios`` arrays of ``GroupOutcome.from_pmf(spec, bid,
+    intervals[c], pmf, price, step_hours)`` — every formula below is
+    the scalar constructor's, broadcast over the candidate column.
+    """
+    F = np.asarray(intervals, dtype=float)
+    if F.ndim != 1 or F.size == 0:
+        raise ConfigurationError("intervals must be a non-empty 1-D array")
+    if np.any(F <= 0):
+        raise ConfigurationError("intervals must be > 0")
+    T = spec.exec_time
+    productive = np.minimum(step_hours * np.arange(n_steps + 1), T)
+    productive[n_steps] = T
+    col = F[:, None]
+    # Checkpoints land at k*F strictly before completion; one exactly at
+    # the finish line is never taken (from_pmf's k_max cap, elementwise).
+    k_max = np.ceil(T / col - 1e-12) - 1.0
+    n_ckpts = np.minimum(
+        np.floor(productive / col + 1e-12), np.maximum(0.0, k_max)
+    )
+    wall = productive + spec.checkpoint_overhead * n_ckpts
+    # ratio_array's formula, broadcast: saved progress, capped restart.
+    saved = np.floor(productive / col) * col
+    ratios = np.minimum(
+        1.0, (T - saved + spec.recovery_overhead) / T
+    )
+    ratios = np.where(productive < col, 1.0, ratios)
+    ratios = np.where(productive >= T - _COMPLETE_ATOL, 0.0, ratios)
+    ratios[:, n_steps] = 0.0  # completion, regardless of grid rounding
+    return productive, wall, ratios
+
+
+def optimal_interval_grid(
+    spec: CircleGroupSpec,
+    bid: float,
+    failure_model,
+    ondemand: OnDemandOption,
+    step_hours: float = 1.0,
+    refine: bool = True,
+) -> float:
+    """``phi(P)`` with the refinement scan as one array program.
+
+    Drop-in replacement for :func:`repro.core.interval.optimal_interval`
+    (identical signature and return value): the candidate set, the
+    single-group objective and the sequential winner rule are the
+    scalar path's; only the per-candidate outcome tables are built in
+    one :func:`outcome_grid` call instead of one
+    ``GroupOutcome.from_pmf`` per candidate.  The per-candidate
+    expectations stay 1-D ``np.dot`` per row — the scalar path's exact
+    reduction — so the costs, and therefore the winning interval, are
+    bit-identical.
+    """
+    young = young_interval(
+        spec.checkpoint_overhead, failure_model.mttf_hours(bid), spec.exec_time
+    )
+    if not refine:
+        return young
+    candidates = _interval_candidates(spec, young, step_hours)
+    n = max(1, int(np.ceil(spec.exec_time / step_hours)))
+    pmf = failure_model.failure_pmf(bid, n)
+    price = failure_model.expected_price(bid)
+    _, wall, ratios = outcome_grid(spec, candidates, pmf.size - 1, step_hours)
+    full_run_cost = ondemand.full_run_cost
+    n_instances = spec.n_instances
+    best_f, best_cost = young, math.inf
+    for c in range(candidates.size):
+        cost = price * n_instances * float(
+            np.dot(pmf, wall[c])
+        ) + full_run_cost * float(np.dot(pmf, ratios[c]))
+        if cost < best_cost - 1e-12:
+            best_cost, best_f = cost, float(candidates[c])
+    return best_f
+
+
+def subset_bounds(
+    min_spot: np.ndarray,
+    min_ratio: np.ndarray,
+    min_wall: np.ndarray,
+    subsets: np.ndarray,
+    full_run_cost: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Admissible lower bounds for a whole ``(subsets, k)`` index matrix.
+
+    ``min_spot`` / ``min_ratio`` / ``min_wall`` are the per-group floors
+    (``e_spot.min()`` etc. of each group table); ``subsets`` holds group
+    indices, one subset per row.  Returns ``(cost_bounds,
+    time_bounds)``.  The accumulations run position by position in
+    subset order — the identical float operation sequence as the scalar
+    ``_subset_bound`` (``sum`` from zero, product from one, running
+    ``max``) — so each bound equals its scalar counterpart bitwise and
+    incumbent pruning decisions are unchanged.
+    """
+    idx = np.asarray(subsets, dtype=np.intp)
+    if idx.ndim != 2 or idx.size == 0:
+        raise ConfigurationError("subsets must be a non-empty (S, k) matrix")
+    n_subsets, k = idx.shape
+    spot = np.zeros(n_subsets)
+    ratio = np.ones(n_subsets)
+    wall = np.asarray(min_wall, dtype=float)[idx[:, 0]].astype(float, copy=True)
+    for j in range(k):
+        spot += np.asarray(min_spot, dtype=float)[idx[:, j]]
+        ratio *= np.asarray(min_ratio, dtype=float)[idx[:, j]]
+        if j > 0:
+            np.maximum(wall, np.asarray(min_wall, dtype=float)[idx[:, j]], out=wall)
+    return spot + ratio * full_run_cost, wall

@@ -1,0 +1,55 @@
+"""Canonical content hashing for cross-process cache keys.
+
+The on-disk artifact store (:mod:`repro.execution.artifacts`) and the
+planner's cross-instance caches (:mod:`.two_level`) key everything by
+*content*, never by object identity, so a cold process can recognise
+work a previous process already did.  This module is the one encoder
+both sides share; it deliberately has no repro imports so any layer can
+use it without cycles.
+
+Floats are encoded via ``float.hex()``: two keys collide iff the values
+are bit-identical, which is exactly the planner's bit-identity contract
+— formatting can never alias two different parameterisations onto one
+artifact, and no tolerance rule exists to get wrong.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def hash_key(*parts) -> str:
+    """SHA-256 hexdigest over nested tuples of str/int/float/bool/None.
+
+    Anything else falls back to its ``str()`` form, which is safe for
+    the frozen value objects used in keys (e.g. ``MarketKey``) whose
+    ``str()`` is stable and injective.
+    """
+    h = hashlib.sha256()
+    _feed(h, parts)
+    return h.hexdigest()
+
+
+def _feed(h, value) -> None:
+    if isinstance(value, (tuple, list)):
+        h.update(b"(")
+        for item in value:
+            _feed(h, item)
+        h.update(b")")
+    elif isinstance(value, bool):  # before int: bool is an int subclass
+        h.update(b"b1" if value else b"b0")
+    elif isinstance(value, float):
+        h.update(b"f")
+        h.update(value.hex().encode())
+    elif isinstance(value, int):
+        h.update(b"i")
+        h.update(str(value).encode())
+    elif isinstance(value, str):
+        h.update(b"s")
+        h.update(value.encode())
+    elif value is None:
+        h.update(b"n")
+    else:
+        h.update(b"o")
+        h.update(str(value).encode())
+    h.update(b"\x00")

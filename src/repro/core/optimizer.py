@@ -149,6 +149,7 @@ class SompiOptimizer:
                 result = greedy_subset_search(optimizer, self.config.kappa)
             else:
                 result = exhaustive_subset_search(optimizer, self.config.kappa)
+        optimizer.save_search_sidecar()
         metrics.inc("plan.combos_evaluated", optimizer.combos_evaluated)
 
         ondemand_only = _ondemand_only_expectation(ondemand)
@@ -211,6 +212,7 @@ class SompiOptimizer:
             result = exhaustive_subset_search(
                 optimizer, self.config.kappa, objective="time", budget=budget
             )
+        optimizer.save_search_sidecar()
         ondemand_ok = ondemand.full_run_cost <= budget
         if result is None and not ondemand_ok:
             raise InfeasibleError(

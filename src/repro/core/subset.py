@@ -15,9 +15,12 @@ traversal.
 from __future__ import annotations
 
 import itertools
-from typing import Iterator, Optional, Sequence, Tuple
+from typing import Dict, Iterator, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..errors import ConfigurationError
+from . import grid_eval
 from .two_level import SubsetResult, TwoLevelOptimizer
 
 
@@ -38,6 +41,52 @@ def enumerate_subsets(
     sizes = [kappa] if exact_size else range(1, kappa + 1)
     for size in sizes:
         yield from itertools.combinations(range(n_groups), size)
+
+
+def _precomputed_bounds(
+    optimizer: TwoLevelOptimizer,
+    subsets: Sequence[Tuple[int, ...]],
+    objective: str,
+) -> Optional[Dict[Tuple[int, ...], float]]:
+    """Admissible bounds for every candidate subset in one array program.
+
+    With ``config.grid_eval`` the traversal's per-subset bound
+    derivation (a Python generator expression per subset) collapses
+    into one :func:`repro.core.grid_eval.subset_bounds` call per subset
+    size.  The per-group floors and the accumulation order are the
+    scalar ``_subset_bound``'s, so every bound — and therefore every
+    incumbent pruning decision — is bit-identical.  Returns ``None``
+    when the one-shot path is disabled (the scalar bound is derived
+    inside ``optimize_subset`` as before).
+    """
+    if not optimizer.config.grid_eval:
+        return None
+    subsets = list(subsets)
+    if not subsets:
+        return {}
+    n = optimizer.problem.n_groups
+    min_spot = np.empty(n)
+    min_ratio = np.empty(n)
+    min_wall = np.empty(n)
+    for i in range(n):
+        table = optimizer.group_table(i)
+        min_spot[i] = table.e_spot.min()
+        min_ratio[i] = table.e_ratio.min()
+        min_wall[i] = table.e_wall.min()
+    by_size: Dict[int, list] = {}
+    for subset in subsets:
+        by_size.setdefault(len(subset), []).append(subset)
+    bounds: Dict[Tuple[int, ...], float] = {}
+    for group in by_size.values():
+        cost_b, time_b = grid_eval.subset_bounds(
+            min_spot, min_ratio, min_wall,
+            np.array(group, dtype=np.intp),
+            optimizer.ondemand.full_run_cost,
+        )
+        chosen = cost_b if objective == "cost" else time_b
+        for subset, value in zip(group, chosen):
+            bounds[subset] = float(value)
+    return bounds
 
 
 def exhaustive_subset_search(
@@ -61,12 +110,17 @@ def exhaustive_subset_search(
     def score(res: SubsetResult) -> float:
         return res.expectation.cost if objective == "cost" else res.expectation.time
 
-    for subset in enumerate_subsets(optimizer.problem.n_groups, kappa, exact_size):
+    subsets = list(
+        enumerate_subsets(optimizer.problem.n_groups, kappa, exact_size)
+    )
+    bounds = _precomputed_bounds(optimizer, subsets, objective)
+    for subset in subsets:
         result = optimizer.optimize_subset(
             subset,
             objective=objective,
             budget=budget,
             prune_above=None if best is None else score(best),
+            bound=None if bounds is None else bounds[subset],
         )
         if result is None:
             continue
@@ -100,15 +154,19 @@ def greedy_subset_search(
     for _ in range(kappa):
         round_best: Optional[SubsetResult] = None
         round_pick: Optional[int] = None
-        for g in sorted(remaining):
+        candidates = [tuple(chosen + [g]) for g in sorted(remaining)]
+        bounds = _precomputed_bounds(optimizer, candidates, objective)
+        for subset in candidates:
+            g = subset[-1]
             # Prune against the *round* incumbent only: the stop rule
             # below compares round_best against the overall best, so
             # round_best itself must come out exactly as without pruning.
             result = optimizer.optimize_subset(
-                tuple(chosen + [g]),
+                subset,
                 objective=objective,
                 budget=budget,
                 prune_above=None if round_best is None else score(round_best),
+                bound=None if bounds is None else bounds[subset],
             )
             if result is None:
                 continue

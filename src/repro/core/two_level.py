@@ -30,11 +30,21 @@ incumbent bound (``prune_above``) that lets the subset search skip
 combinations that provably cannot beat the best feasible cost found so
 far.  All caches are exact and every pruning bound is admissible, so
 results are bit-identical with the caches and pruning disabled.
+
+Disk tier (DESIGN.md §10): every shared cache entry is keyed by a
+*content token* — a hash of the trace content plus every scalar that
+enters the computation — so keys survive process boundaries.  When
+``config.artifact_cache`` is on, the per-problem table bundle, the
+survival grids and the search sidecar (subset score vectors + exact
+re-evaluations) are persisted to the on-disk artifact store
+(:mod:`repro.execution.artifacts`): a cold process warms from disk
+instead of rebuilding.  Loads are fail-open and artifacts store the
+exact float64 arrays the build produced, so results are bit-identical
+with the store on, off, deleted or corrupted mid-run.
 """
 
 from __future__ import annotations
 
-import itertools
 import weakref
 from dataclasses import dataclass, field
 from typing import Iterator, Mapping, Optional, Sequence, Tuple
@@ -46,9 +56,11 @@ from ..config import DEFAULT_CONFIG, SompiConfig
 from ..errors import ConfigurationError
 from ..market.failure import FailureModel
 from ..market.history import MarketKey
+from . import grid_eval
 from .bid_search import log_bid_candidates
 from .cost_model import Expectation, GroupOutcome, evaluate
 from .interval import optimal_interval
+from .keys import hash_key
 from .problem import Decision, GroupDecision, OnDemandOption, Problem
 
 _RATIO_GRID = 256
@@ -74,17 +86,22 @@ _PRUNE_MARGIN = 1e-9
 # windowed re-optimisation stop rebuilding identical tables.  A new
 # trace means a new FailureModel means a fresh cache — no invalidation
 # rules to get wrong.  Subset score vectors and exact re-evaluations are
-# capped dicts, cleared wholesale when full (they are pure caches).
+# capped dicts, cleared wholesale when full (they are pure caches);
+# their keys are built from content tokens, so entries loaded from the
+# on-disk sidecar and entries computed live are interchangeable.
 
 _RAW_TABLE_CACHE: "weakref.WeakKeyDictionary[FailureModel, dict]" = (
     weakref.WeakKeyDictionary()
 )
-_token_counter = itertools.count()
 
 _SUBSET_EVAL_CACHE: dict = {}
 _SUBSET_EVAL_CACHE_MAX = 2048
 _EXACT_EVAL_CACHE: dict = {}
 _EXACT_EVAL_CACHE_MAX = 65536
+
+#: Sidecar artifact keys already merged into the process caches — a
+#: second optimizer over the same scope skips the redundant disk read.
+_SIDECAR_LOADED: set = set()
 
 
 # Other layers (e.g. the replay kernels' per-(trace, bid) index tables)
@@ -101,10 +118,17 @@ def register_cache_clearer(fn) -> None:
 
 
 def clear_shared_caches() -> None:
-    """Drop every cross-instance planner cache (tests, memory pressure)."""
+    """Drop every cross-instance planner cache (tests, memory pressure).
+
+    Only *memory* is dropped — on-disk artifacts survive by design
+    (that a cleared process re-warms from disk is the artifact store's
+    whole point; tests simulate a truly cold machine by also pointing
+    ``config.artifact_dir`` at an empty directory).
+    """
     _RAW_TABLE_CACHE.clear()
     _SUBSET_EVAL_CACHE.clear()
     _EXACT_EVAL_CACHE.clear()
+    _SIDECAR_LOADED.clear()
     for fn in _EXTERNAL_CACHE_CLEARERS:
         fn()
 
@@ -114,7 +138,7 @@ class _RawGroupEntry:
     """Deadline-independent per-group precomputation, shareable across
     optimizer instances (cached per failure model)."""
 
-    token: int  # unique id for downstream cache keys
+    token: str  # content hash keying downstream caches and artifacts
     bids: np.ndarray
     intervals: np.ndarray
     outcomes: list[GroupOutcome]
@@ -123,6 +147,77 @@ class _RawGroupEntry:
     e_ratio: np.ndarray  # (nb,) expected recovery ratio E[Ratio]
     wall_max: float
     grids: dict = field(default_factory=dict)  # wall_hi -> (surv_ratio, surv_wall)
+
+
+def _entry_to_arrays(entry: _RawGroupEntry, prefix: str) -> dict:
+    """Flatten one entry into named arrays for the artifact bundle."""
+    return {
+        prefix + "bids": entry.bids,
+        prefix + "intervals": entry.intervals,
+        prefix + "e_spot": entry.e_spot,
+        prefix + "e_wall": entry.e_wall,
+        prefix + "e_ratio": entry.e_ratio,
+        prefix + "wall_max": np.array([entry.wall_max]),
+        prefix + "pmf": np.stack([o.pmf for o in entry.outcomes]),
+        prefix + "price": np.array(
+            [o.expected_price for o in entry.outcomes]
+        ),
+        prefix + "productive": np.stack(
+            [o.productive for o in entry.outcomes]
+        ),
+        prefix + "wall": np.stack([o.wall for o in entry.outcomes]),
+        prefix + "ratios": np.stack([o.ratios for o in entry.outcomes]),
+    }
+
+
+def _entry_from_arrays(
+    arrays: dict, prefix: str, token: str, spec, step_hours: float
+) -> Optional[_RawGroupEntry]:
+    """Rebuild an entry from its persisted arrays; ``None`` on any
+    schema damage (the caller falls open to a rebuild)."""
+    try:
+        bids = arrays[prefix + "bids"]
+        intervals = arrays[prefix + "intervals"]
+        pmf = arrays[prefix + "pmf"]
+        price = arrays[prefix + "price"]
+        productive = arrays[prefix + "productive"]
+        wall = arrays[prefix + "wall"]
+        ratios = arrays[prefix + "ratios"]
+        nb = int(bids.size)
+        if not (
+            intervals.shape == (nb,)
+            and price.shape == (nb,)
+            and pmf.ndim == 2
+            and pmf.shape[0] == nb
+            and pmf.shape == productive.shape == wall.shape == ratios.shape
+        ):
+            return None
+        outcomes = [
+            GroupOutcome(
+                spec=spec,
+                bid=float(bids[b]),
+                interval=float(intervals[b]),
+                step_hours=step_hours,
+                pmf=pmf[b],
+                expected_price=float(price[b]),
+                productive=productive[b],
+                wall=wall[b],
+                ratios=ratios[b],
+            )
+            for b in range(nb)
+        ]
+        return _RawGroupEntry(
+            token=token,
+            bids=bids,
+            intervals=intervals,
+            outcomes=outcomes,
+            e_spot=arrays[prefix + "e_spot"],
+            e_wall=arrays[prefix + "e_wall"],
+            e_ratio=arrays[prefix + "e_ratio"],
+            wall_max=float(arrays[prefix + "wall_max"][0]),
+        )
+    except (KeyError, IndexError, ValueError):
+        return None
 
 
 @dataclass
@@ -138,7 +233,7 @@ class _GroupTable:
     e_ratio: np.ndarray  # (nb,) expected recovery ratio E[Ratio]
     surv_ratio: np.ndarray  # (nb, RATIO_GRID) P(ratio >= midpoint)
     surv_wall: np.ndarray  # (nb, WALL_GRID)  P(wall  >= midpoint)
-    token: int = -1
+    token: str = ""
 
     @property
     def n_bids(self) -> int:
@@ -203,8 +298,15 @@ class TwoLevelOptimizer:
         self._tables: dict[int, _GroupTable] = {}
         self._grids_ready = False
         self._wall_hi = 0.0
+        self._sidecar_key: Optional[str] = None
+        self._sidecar_seen: set = set()
         self.combos_evaluated = 0
         self.subsets_pruned = 0
+        self._store = None
+        if config.table_cache and config.artifact_cache:
+            from ..execution.artifacts import get_store
+
+            self._store = get_store(config)
 
     # ------------------------------------------------------------------
     # Precomputation
@@ -225,31 +327,41 @@ class TwoLevelOptimizer:
             cfg.checkpointing,
         )
 
-    def _raw_entry(self, fm: FailureModel, spec) -> _RawGroupEntry:
-        use_cache = self.config.table_cache
-        key = self._entry_key(spec)
-        per_model: Optional[dict] = None
-        if use_cache:
-            per_model = _RAW_TABLE_CACHE.get(fm)
-            if per_model is None:
-                per_model = {}
-                _RAW_TABLE_CACHE[fm] = per_model
-            entry = per_model.get(key)
-            if entry is not None:
-                obs.get_metrics().inc("cache.table_hits")
-                return entry
-            obs.get_metrics().inc("cache.table_misses")
-
-        step = self.config.time_step_hours
-        bids = log_bid_candidates(
-            fm.max_price(), self.config.bid_levels, floor_price=fm.min_price()
+    def _group_token(self, fm: FailureModel, spec) -> str:
+        """Content token: everything :meth:`_entry_key` pins plus the
+        trace content and model discretisation, so equal tokens imply
+        bit-identical tables — across optimizer instances *and* across
+        processes (the artifact store's keying contract)."""
+        return hash_key(
+            fm.trace.content_hash(), fm.step_hours, fm.circular,
+            self._entry_key(spec),
         )
+
+    def _build_entry(
+        self, fm: FailureModel, spec, token: str, bids: Optional[np.ndarray]
+    ) -> _RawGroupEntry:
+        """Compute one group's table from scratch (both cache tiers missed)."""
+        step = self.config.time_step_hours
+        if bids is None:
+            bids = log_bid_candidates(
+                fm.max_price(), self.config.bid_levels,
+                floor_price=fm.min_price(),
+            )
         intervals = np.empty(bids.size)
         outcomes: list[GroupOutcome] = []
         wall_max = 0.0
         for b, bid in enumerate(bids):
             if not self.config.checkpointing:
                 interval = spec.exec_time  # w/o-CK ablation: no checkpoints
+            elif self.config.grid_eval:
+                interval = grid_eval.optimal_interval_grid(
+                    spec,
+                    float(bid),
+                    fm,
+                    self.ondemand,
+                    step_hours=step,
+                    refine=self.config.interval_refine,
+                )
             else:
                 interval = optimal_interval(
                     spec,
@@ -263,8 +375,8 @@ class TwoLevelOptimizer:
             intervals[b] = interval
             outcomes.append(outcome)
             wall_max = max(wall_max, float(outcome.wall.max()))
-        entry = _RawGroupEntry(
-            token=next(_token_counter),
+        return _RawGroupEntry(
+            token=token,
             bids=bids,
             intervals=intervals,
             outcomes=outcomes,
@@ -273,18 +385,82 @@ class TwoLevelOptimizer:
             e_ratio=np.array([float(np.dot(o.pmf, o.ratios)) for o in outcomes]),
             wall_max=wall_max,
         )
-        if per_model is not None:
-            per_model[key] = entry
-        return entry
+
+    def _raw_entries(self) -> dict[int, _RawGroupEntry]:
+        """Per-group entries through all three tiers: process memory,
+        disk bundle, fresh build (saving the bundle for next time)."""
+        cfg = self.config
+        metrics = obs.get_metrics()
+        specs = list(enumerate(self.problem.groups))
+        tokens = [self._group_token(self._models[i], spec) for i, spec in specs]
+        entries: dict[int, _RawGroupEntry] = {}
+        per_model: dict[int, dict] = {}
+        keys: dict[int, tuple] = {}
+        for i, spec in specs:
+            keys[i] = self._entry_key(spec)
+            if not cfg.table_cache:
+                continue
+            pm = _RAW_TABLE_CACHE.get(self._models[i])
+            if pm is None:
+                pm = {}
+                _RAW_TABLE_CACHE[self._models[i]] = pm
+            per_model[i] = pm
+            entry = pm.get(keys[i])
+            if entry is not None:
+                metrics.inc("cache.table_hits")
+                entries[i] = entry
+            else:
+                metrics.inc("cache.table_misses")
+
+        missing = [i for i, _ in specs if i not in entries]
+        store = self._store
+        bundle_key = None
+        if missing and store is not None:
+            from ..execution.artifacts import engine_fingerprint
+
+            bundle_key = hash_key(tuple(tokens), engine_fingerprint())
+            arrays = store.load("group_tables", bundle_key)
+            if arrays is not None:
+                for i in missing:
+                    entry = _entry_from_arrays(
+                        arrays, f"g{i}_", tokens[i],
+                        self.problem.groups[i], cfg.time_step_hours,
+                    )
+                    if entry is None:
+                        break  # damaged schema: rebuild the rest below
+                    entries[i] = entry
+                    if i in per_model:
+                        per_model[i][keys[i]] = entry
+                missing = [i for i, _ in specs if i not in entries]
+
+        if missing:
+            bid_rows = None
+            if cfg.grid_eval:
+                bid_rows = grid_eval.bid_matrix_rows(
+                    [self._models[i].max_price() for i in missing],
+                    cfg.bid_levels,
+                    [self._models[i].min_price() for i in missing],
+                )
+            for j, i in enumerate(missing):
+                entry = self._build_entry(
+                    self._models[i], self.problem.groups[i], tokens[i],
+                    None if bid_rows is None else bid_rows[j],
+                )
+                entries[i] = entry
+                if i in per_model:
+                    per_model[i][keys[i]] = entry
+            if bundle_key is not None:
+                arrays = {}
+                for i, _ in specs:
+                    arrays.update(_entry_to_arrays(entries[i], f"g{i}_"))
+                store.save("group_tables", bundle_key, arrays)
+        return entries
 
     def _build_tables(self) -> None:
         """Build all group tables and the shared quadrature grids."""
         if self._grids_ready:
             return
-        entries = {
-            i: self._raw_entry(self._models[i], spec)
-            for i, spec in enumerate(self.problem.groups)
-        }
+        entries = self._raw_entries()
         wall_hi = 0.0
         for entry in entries.values():
             wall_hi = max(wall_hi, entry.wall_max)
@@ -296,18 +472,60 @@ class TwoLevelOptimizer:
         self._wall_delta = wall_hi / _WALL_GRID
         self._wall_hi = wall_hi
 
-        for i, entry in entries.items():
-            grids = entry.grids.get(wall_hi) if self.config.table_cache else None
-            if grids is None:
+        grids_map: dict[int, tuple] = {}
+        if self.config.table_cache:
+            for i, entry in entries.items():
+                cached = entry.grids.get(wall_hi)
+                if cached is not None:
+                    grids_map[i] = cached
+        missing = [i for i in entries if i not in grids_map]
+        store = self._store
+        grids_key = None
+        if missing and store is not None:
+            from ..execution.artifacts import engine_fingerprint
+
+            grids_key = hash_key(
+                tuple(entries[i].token for i in sorted(entries)),
+                wall_hi, _RATIO_GRID, _WALL_GRID, engine_fingerprint(),
+            )
+            arrays = store.load("surv_grids", grids_key)
+            if arrays is not None and all(
+                f"g{i}_ratio" in arrays
+                and f"g{i}_wall" in arrays
+                and arrays[f"g{i}_ratio"].shape
+                == (entries[i].bids.size, _RATIO_GRID)
+                and arrays[f"g{i}_wall"].shape
+                == (entries[i].bids.size, _WALL_GRID)
+                for i in missing
+            ):
+                for i in missing:
+                    grids = (arrays[f"g{i}_ratio"], arrays[f"g{i}_wall"])
+                    grids_map[i] = grids
+                    if self.config.table_cache:
+                        entries[i].grids[wall_hi] = grids
+                missing = []
+
+        if missing:
+            for i in missing:
+                entry = entries[i]
                 nb = entry.bids.size
                 surv_ratio = np.empty((nb, _RATIO_GRID))
                 surv_wall = np.empty((nb, _WALL_GRID))
                 for b, o in enumerate(entry.outcomes):
                     surv_ratio[b] = _survival_rows(o.ratios, o.pmf, ratio_mid)
                     surv_wall[b] = _survival_rows(o.wall, o.pmf, wall_mid)
-                grids = (surv_ratio, surv_wall)
+                grids_map[i] = (surv_ratio, surv_wall)
                 if self.config.table_cache:
-                    entry.grids[wall_hi] = grids
+                    entry.grids[wall_hi] = grids_map[i]
+            if grids_key is not None:
+                arrays = {}
+                for i in entries:
+                    arrays[f"g{i}_ratio"] = grids_map[i][0]
+                    arrays[f"g{i}_wall"] = grids_map[i][1]
+                store.save("surv_grids", grids_key, arrays)
+
+        for i, entry in entries.items():
+            grids = grids_map[i]
             self._tables[i] = _GroupTable(
                 i,
                 entry.bids,
@@ -321,11 +539,172 @@ class TwoLevelOptimizer:
                 entry.token,
             )
         self._grids_ready = True
+        self._load_sidecar()
 
     def group_table(self, group_index: int) -> _GroupTable:
         """Expose a group's precomputed table (used by experiments)."""
         self._build_tables()
         return self._tables[group_index]
+
+    # ------------------------------------------------------------------
+    # Search sidecar (disk tier of the subset-score / exact-eval caches)
+    # ------------------------------------------------------------------
+    def _sidecar_scope(self) -> Optional[str]:
+        """Artifact key of this optimizer's search scope: the group
+        tokens, the shared grid, and the on-demand scalars that enter
+        every score — but *not* the deadline or budget, which only
+        select among cached scores and never change them."""
+        if self._store is None:
+            return None
+        if self._sidecar_key is None:
+            from ..execution.artifacts import engine_fingerprint
+
+            self._sidecar_key = hash_key(
+                tuple(sorted(t.token for t in self._tables.values())),
+                self._wall_hi,
+                self.ondemand.full_run_cost,
+                self.ondemand.exec_time,
+                engine_fingerprint(),
+            )
+        return self._sidecar_key
+
+    def _load_sidecar(self) -> None:
+        """Merge the persisted subset-score vectors and exact
+        re-evaluations for this scope into the process caches."""
+        key = self._sidecar_scope()
+        if key is None or key in _SIDECAR_LOADED:
+            return
+        _SIDECAR_LOADED.add(key)
+        arrays = self._store.load("search_sidecar", key)
+        if arrays is None:
+            return
+        odc, odt = self.ondemand.full_run_cost, self.ondemand.exec_time
+        # Packed schema: thousands of cached entries live in ten flat
+        # arrays (one npz member per *column*, not per entry) because
+        # npz pays a fixed header-parse cost per member — a
+        # member-per-entry layout made loading slower than rebuilding.
+        try:
+            s_ntok = arrays["s_ntok"].astype(np.int64)
+            s_rows = arrays["s_rows"].astype(np.int64)
+            s_toks = arrays["s_toks"]
+            s_batch, s_cost = arrays["s_batch"], arrays["s_cost"]
+            s_time = arrays["s_time"]
+            tok_off = row_off = cell_off = 0
+            for e in range(s_ntok.size):
+                k, rows = int(s_ntok[e]), int(s_rows[e])
+                toks = tuple(
+                    str(t) for t in s_toks[tok_off:tok_off + k]
+                )
+                batch = s_batch[cell_off:cell_off + rows * k]
+                batch = batch.reshape(rows, k).astype(np.intp)
+                cost = s_cost[row_off:row_off + rows]
+                time_v = s_time[row_off:row_off + rows]
+                if cost.size != rows or time_v.size != rows:
+                    raise ValueError("truncated sidecar")
+                tok_off += k
+                row_off += rows
+                cell_off += rows * k
+                ck = (toks, self._wall_hi)
+                self._sidecar_seen.add(("s", ck))
+                if ck not in _SUBSET_EVAL_CACHE:
+                    _SUBSET_EVAL_CACHE[ck] = (batch, cost, time_v)
+            e_ntok = arrays["e_ntok"].astype(np.int64)
+            e_toks, e_combo = arrays["e_toks"], arrays["e_combo"]
+            e_vals = arrays["e_vals"]
+            if e_vals.ndim != 2 or e_vals.shape != (e_ntok.size, 7):
+                raise ValueError("bad exact-value block")
+            off = 0
+            for j in range(e_ntok.size):
+                k = int(e_ntok[j])
+                toks = tuple(str(t) for t in e_toks[off:off + k])
+                combo = tuple(int(c) for c in e_combo[off:off + k])
+                off += k
+                ek = (toks, combo, odc, odt)
+                self._sidecar_seen.add(("e", ek))
+                if ek not in _EXACT_EVAL_CACHE:
+                    _EXACT_EVAL_CACHE[ek] = Expectation(
+                        *(float(x) for x in e_vals[j])
+                    )
+        except (KeyError, IndexError, ValueError):
+            # Half-written schema from an older layout: whatever merged
+            # so far is still exact; the rest recomputes.
+            return
+
+    def save_search_sidecar(self) -> None:
+        """Persist this scope's slice of the score/exact caches.
+
+        Called by :class:`~repro.core.optimizer.SompiOptimizer` after a
+        search completes; a no-op when the store is off or when nothing
+        new was computed since the sidecar was loaded (a fully warm
+        search never rewrites the artifact).
+        """
+        if not self._grids_ready:
+            return
+        key = self._sidecar_scope()
+        if key is None:
+            return
+        mine = {t.token for t in self._tables.values()}
+        odc, odt = self.ondemand.full_run_cost, self.ondemand.exec_time
+        scores = []
+        exacts = []
+        fresh = False
+        for ck, vectors in _SUBSET_EVAL_CACHE.items():
+            toks, whi = ck
+            if whi == self._wall_hi and all(t in mine for t in toks):
+                scores.append((toks, vectors))
+                fresh = fresh or ("s", ck) not in self._sidecar_seen
+        for ek, exact in _EXACT_EVAL_CACHE.items():
+            toks, combo, c, t = ek
+            if c == odc and t == odt and all(tk in mine for tk in toks):
+                exacts.append((toks, combo, exact))
+                fresh = fresh or ("e", ek) not in self._sidecar_seen
+        if not fresh or not (scores or exacts):
+            return
+        # Pack entries into flat columns (see _load_sidecar for why).
+        s_toks: list = []
+        s_batch: list = []
+        s_cost: list = []
+        s_time: list = []
+        s_ntok = np.empty(len(scores), dtype=np.int64)
+        s_rows = np.empty(len(scores), dtype=np.int64)
+        for e, (toks, (batch, cost, time_v)) in enumerate(scores):
+            s_ntok[e] = len(toks)
+            s_rows[e] = batch.shape[0]
+            s_toks.extend(toks)
+            s_batch.append(np.asarray(batch, dtype=np.int64).ravel())
+            s_cost.append(cost)
+            s_time.append(time_v)
+        e_toks: list = []
+        e_combo: list = []
+        e_ntok = np.empty(len(exacts), dtype=np.int64)
+        e_vals = np.empty((len(exacts), 7))
+        for j, (toks, combo, exact) in enumerate(exacts):
+            e_ntok[j] = len(toks)
+            e_toks.extend(toks)
+            e_combo.extend(combo)
+            e_vals[j] = (
+                exact.cost,
+                exact.time,
+                exact.spot_cost,
+                exact.ondemand_cost,
+                exact.expected_min_ratio,
+                exact.expected_max_wall,
+                exact.completion_probability,
+            )
+        empty_i = np.empty(0, dtype=np.int64)
+        empty_f = np.empty(0)
+        self._store.save("search_sidecar", key, {
+            "s_ntok": s_ntok,
+            "s_rows": s_rows,
+            "s_toks": np.array(s_toks),
+            "s_batch": np.concatenate(s_batch) if s_batch else empty_i,
+            "s_cost": np.concatenate(s_cost) if s_cost else empty_f,
+            "s_time": np.concatenate(s_time) if s_time else empty_f,
+            "e_ntok": e_ntok,
+            "e_toks": np.array(e_toks),
+            "e_combo": np.array(e_combo, dtype=np.int64),
+            "e_vals": e_vals,
+        })
 
     # ------------------------------------------------------------------
     # Pruning bound
@@ -359,6 +738,7 @@ class TwoLevelOptimizer:
         objective: str = "cost",
         budget: Optional[float] = None,
         prune_above: Optional[float] = None,
+        bound: Optional[float] = None,
     ) -> Optional[SubsetResult]:
         """Best (bids, intervals) for this subset, or ``None`` if no bid
         combination satisfies the constraint in exact evaluation.
@@ -375,6 +755,12 @@ class TwoLevelOptimizer:
         lower bound on the *exact* score, a pruned subset could never
         have replaced the incumbent, so the traversal's final result is
         unchanged.
+
+        ``bound`` optionally supplies the subset's precomputed admissible
+        bound (the one-shot :func:`repro.core.grid_eval.subset_bounds`
+        program computes every subset's bound in one pass, bit-identical
+        to :meth:`_subset_bound`); when omitted the bound is derived
+        here.
         """
         indices = tuple(group_indices)
         if len(indices) == 0:
@@ -395,7 +781,8 @@ class TwoLevelOptimizer:
         self.combos_evaluated += total
 
         if prune_above is not None:
-            bound = self._subset_bound(tables, objective)
+            if bound is None:
+                bound = self._subset_bound(tables, objective)
             if bound >= prune_above * (1.0 + _PRUNE_MARGIN) + 1e-12:
                 self.subsets_pruned += 1
                 return None

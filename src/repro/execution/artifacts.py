@@ -1,0 +1,224 @@
+"""On-disk artifact store for planner and kernel tables (DESIGN.md §10).
+
+The per-(trace, bid) launch/death index tables built by
+:mod:`.kernels`, and the per-group bid/interval/outcome tables and
+survival grids built by :mod:`repro.core.two_level`, are pure functions
+of trace *content* plus a handful of scalar parameters.  PR 1/3 made
+them shareable across optimizer instances — but only within one
+process: the first plan of a fresh process rebuilt everything.  This
+module is the disk tier under those in-memory caches, mirroring the
+two-tier design of the reprolint cache (:mod:`repro.analysis.cache`):
+
+* **Keying** — every artifact key is a SHA-256 over (a) the content
+  hash of each participating trace, (b) every scalar parameter that
+  enters the computation (floats canonicalised via ``float.hex()`` so
+  the key is exact, never formatted), and (c) the **engine
+  fingerprint**: a hash of the source files that produce artifact
+  contents plus the numpy/python versions.  Editing any kernel or
+  planner module, or changing numpy, silently invalidates every
+  artifact — there are no version-skew rules to get wrong.
+* **Format** — one ``.npz`` per artifact (versioned directory layout,
+  ``v1/<kind>/<aa>/<key>.npz``), written atomically: serialize to a
+  temp file in the same directory, then ``os.replace``.  Readers never
+  observe a half-written file.
+* **Fail-open** — a missing, truncated, corrupted or permission-denied
+  artifact is a cache miss, never an error: the caller rebuilds from
+  scratch and results are bit-identical either way (the store persists
+  the exact float64 arrays the build produced; ``.npz`` round-trips
+  them losslessly).  Deleting the store directory mid-run only changes
+  timing.
+
+Hit/miss/write/error counts land in the :mod:`repro.obs` metrics
+registry (``cache.artifact_*``), so ``--metrics`` output shows whether
+a cold process actually hit warm disk.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from .. import obs
+from ..core.keys import hash_key
+from ..core.two_level import register_cache_clearer
+
+__all__ = [
+    "ARTIFACT_VERSION",
+    "ArtifactStore",
+    "clear_store_handles",
+    "default_artifact_dir",
+    "engine_fingerprint",
+    "get_store",
+    "hash_key",
+]
+
+#: Bump when the artifact layout or array schema changes; old versions
+#: simply stop being read (their directory is ignored, not migrated).
+ARTIFACT_VERSION = 1
+
+#: Environment override for the store location; an empty value disables
+#: the store entirely (useful to pin hermetic test runs).
+ARTIFACT_DIR_ENV = "REPRO_ARTIFACT_DIR"
+
+# reprolint: disable=R002 -- process-lifetime memo: sources cannot change under a running interpreter, so clearing would only re-read them
+_FINGERPRINT_MEMO: Dict[str, str] = {}
+_STORE_MEMO: Dict[str, "ArtifactStore"] = {}
+
+#: Source directories (relative to the ``repro`` package) whose code
+#: produces artifact contents.  ``analysis``/``obs``/CLI edits must not
+#: invalidate numeric artifacts, so they are deliberately absent.
+_ENGINE_SOURCES = ("core", "market", "cloud", "execution")
+
+
+def engine_fingerprint() -> str:
+    """Hash of the numeric engine's own sources + numpy/python versions.
+
+    Memoised for the process: the sources cannot change under a running
+    interpreter in any way that matters to already-imported code.
+    """
+    if "fp" not in _FINGERPRINT_MEMO:
+        import sys
+
+        pkg = Path(__file__).resolve().parent.parent
+        h = hashlib.sha256()
+        h.update(f"py{sys.version_info[0]}.{sys.version_info[1]}".encode())
+        h.update(f"np{np.__version__}".encode())
+        for sub in _ENGINE_SOURCES:
+            root = pkg / sub
+            if not root.is_dir():
+                continue
+            for p in sorted(root.rglob("*.py")):
+                if "__pycache__" in p.parts:
+                    continue
+                h.update(p.relative_to(pkg).as_posix().encode())
+                h.update(b"\x00")
+                h.update(p.read_bytes())
+        _FINGERPRINT_MEMO["fp"] = h.hexdigest()
+    return _FINGERPRINT_MEMO["fp"]
+
+
+def default_artifact_dir() -> Optional[Path]:
+    """Resolve the store root: env override, else the user cache dir.
+
+    Returns ``None`` when the env var is set but empty (explicit
+    opt-out).
+    """
+    env = os.environ.get(ARTIFACT_DIR_ENV)
+    if env is not None:
+        return Path(env) if env else None
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-sompi" / "artifacts"
+
+
+class ArtifactStore:
+    """A directory of content-addressed ``.npz`` artifacts."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root) / f"v{ARTIFACT_VERSION}"
+
+    # ------------------------------------------------------------------
+    def path_for(self, kind: str, key: str) -> Path:
+        """Sharded path for one artifact (two-level fanout by key)."""
+        return self.root / kind / key[:2] / f"{key}.npz"
+
+    def load(self, kind: str, key: str) -> Optional[Dict[str, np.ndarray]]:
+        """The artifact's arrays, or ``None`` on any miss or damage."""
+        path = self.path_for(kind, key)
+        metrics = obs.get_metrics()
+        try:
+            with np.load(path, allow_pickle=False) as npz:
+                arrays = {name: npz[name] for name in npz.files}
+        except FileNotFoundError:
+            metrics.inc(f"cache.artifact_misses.{kind}")
+            return None
+        # reprolint: disable=R006 -- the store's fail-open contract: any damage is a counted miss
+        except Exception:
+            # Truncated/corrupted/unreadable: fail open, count it, and
+            # drop the bad file so the rebuild below repairs the store.
+            metrics.inc(f"cache.artifact_errors.{kind}")
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        metrics.inc(f"cache.artifact_hits.{kind}")
+        return arrays
+
+    def save(
+        self, kind: str, key: str, arrays: Mapping[str, np.ndarray]
+    ) -> bool:
+        """Atomically persist ``arrays``; False (not an error) on failure.
+
+        A read-only or full filesystem degrades the store to always-cold
+        exactly like the reprolint cache — planning results are computed
+        either way.
+        """
+        path = self.path_for(kind, key)
+        metrics = obs.get_metrics()
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            buf = io.BytesIO()
+            np.savez(buf, **dict(arrays))
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=f".{key[:8]}.", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(buf.getvalue())
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            metrics.inc(f"cache.artifact_write_errors.{kind}")
+            return False
+        metrics.inc(f"cache.artifact_writes.{kind}")
+        return True
+
+
+def get_store(config) -> Optional[ArtifactStore]:
+    """The store for this config, or ``None`` when disabled.
+
+    Enabled iff ``config.table_cache`` *and* ``config.artifact_cache``
+    (artifacts are the disk tier of the table caches: no memory tier,
+    no disk tier) and a root directory resolves.  Store handles are
+    memoised per resolved path; :func:`clear_store_handles` (wired into
+    ``clear_shared_caches``) drops the handles — never the disk files —
+    so a "cold process" simulation still hits warm disk.
+    """
+    if not (
+        getattr(config, "table_cache", False)
+        and getattr(config, "artifact_cache", False)
+    ):
+        return None
+    root = (
+        Path(config.artifact_dir)
+        if getattr(config, "artifact_dir", None)
+        else default_artifact_dir()
+    )
+    if root is None:
+        return None
+    key = str(root)
+    store = _STORE_MEMO.get(key)
+    if store is None:
+        store = _STORE_MEMO[key] = ArtifactStore(root)
+    return store
+
+
+# reprolint: disable=R002 -- registered right here with the shared clearer
+def clear_store_handles() -> None:
+    """Drop memoised store handles (disk artifacts stay untouched)."""
+    _STORE_MEMO.clear()
+
+
+register_cache_clearer(clear_store_handles)

@@ -98,6 +98,72 @@ def _build_tables(trace, bid: float) -> TraceBidTables:
 _TABLE_CACHE: dict[tuple[int, float], TraceBidTables] = {}
 _TABLE_FINALIZERS: dict[int, object] = {}
 
+#: Disk tier cutoff: below this many segments, rebuilding the tables is
+#: cheaper than one ``.npz`` round-trip, so small traces never touch the
+#: artifact store (the memory tier still serves repeats).
+_STORE_MIN_SEGMENTS = 4096
+
+
+def _artifact_io(trace, bid: float):
+    """(store, key) for this pair, or ``(None, None)`` when the disk
+    tier is off (no store configured, or the trace is too small to pay
+    for a round-trip)."""
+    if trace.prices.size < _STORE_MIN_SEGMENTS:
+        return None, None
+    from ..config import DEFAULT_CONFIG
+    from .artifacts import engine_fingerprint, get_store
+
+    store = get_store(DEFAULT_CONFIG)
+    if store is None:
+        return None, None
+    from ..core.keys import hash_key
+
+    return store, hash_key(
+        trace.content_hash(), float(bid), engine_fingerprint()
+    )
+
+
+def _tables_from_store(trace, bid: float) -> TraceBidTables | None:
+    """Reload the (trace, bid) tables from disk; ``None`` on any miss.
+
+    Only the bid-dependent arrays are persisted — ``times`` /
+    ``times_ext`` are rebuilt from the trace itself, which is exact
+    because the artifact key embeds the trace *content* hash.
+    """
+    store, key = _artifact_io(trace, bid)
+    if store is None:
+        return None
+    arrays = store.load("trace_bid", key)
+    if arrays is None:
+        return None
+    n = trace.prices.size
+    below = arrays.get("below")
+    nxt_below = arrays.get("nxt_below_ext")
+    nxt_above = arrays.get("nxt_above_ext")
+    if (
+        below is None or nxt_below is None or nxt_above is None
+        or below.shape != (n,) or below.dtype != np.bool_
+        or nxt_below.shape != (n + 1,) or nxt_above.shape != (n + 1,)
+    ):
+        return None
+    return TraceBidTables(
+        times=trace.times,
+        times_ext=np.concatenate([trace.times, [np.inf]]),
+        below=below,
+        nxt_below_ext=nxt_below,
+        nxt_above_ext=nxt_above,
+    )
+
+
+def _tables_to_store(trace, bid: float, tables: TraceBidTables) -> None:
+    store, key = _artifact_io(trace, bid)
+    if store is not None:
+        store.save("trace_bid", key, {
+            "below": tables.below,
+            "nxt_below_ext": tables.nxt_below_ext,
+            "nxt_above_ext": tables.nxt_above_ext,
+        })
+
 
 def _evict_trace(trace_id: int) -> None:
     _TABLE_FINALIZERS.pop(trace_id, None)
@@ -125,15 +191,22 @@ def table_cache_size() -> int:
 def trace_tables(trace, bid: float, cache: bool = True) -> TraceBidTables:
     """The (trace, bid) index tables, served from the shared cache.
 
-    ``cache=False`` recomputes from scratch (the ``config.table_cache``
-    opt-out); results are identical either way.
+    Two tiers: the in-process ``_TABLE_CACHE`` above, then (for traces
+    with at least ``_STORE_MIN_SEGMENTS`` segments) the on-disk
+    artifact store keyed by trace content + engine fingerprint, so a
+    cold process skips the build for big markets.  ``cache=False``
+    recomputes from scratch (the ``config.table_cache`` opt-out);
+    results are identical on every tier.
     """
     if not cache:
         return _build_tables(trace, float(bid))
     key = (id(trace), float(bid))
     tables = _TABLE_CACHE.get(key)
     if tables is None:
-        tables = _build_tables(trace, float(bid))
+        tables = _tables_from_store(trace, float(bid))
+        if tables is None:
+            tables = _build_tables(trace, float(bid))
+            _tables_to_store(trace, float(bid), tables)
         _TABLE_CACHE[key] = tables
         if key[0] not in _TABLE_FINALIZERS:
             _TABLE_FINALIZERS[key[0]] = weakref.finalize(

@@ -25,11 +25,12 @@ import numpy as np
 from .. import obs
 from ..cloud.billing import BillingPolicy, CONTINUOUS
 from ..core.problem import Decision, Problem
-from ..errors import TraceError
+from ..errors import ConfigurationError, TraceError
 from ..market.history import SpotPriceHistory
 from .batch_replay import replay_batch
 from .replay import decision_horizon, replay_decision
 from .results import MonteCarloSummary, RunResult
+from .shm_pool import SharedHistoryHandle, SharedTracePool, attach_history
 
 
 def sample_start_times(
@@ -110,6 +111,44 @@ def _replay_chunk(
     ]
 
 
+def _replay_chunk_shm(
+    problem: Problem,
+    decision: Decision,
+    handle: SharedHistoryHandle,
+    starts: np.ndarray,
+    horizon: Optional[float],
+    semantics: str,
+    billing: BillingPolicy = CONTINUOUS,
+    account_storage: bool = False,
+) -> list[RunResult]:
+    """Worker entry point for the shared-memory path: attach the pooled
+    traces (once per worker — the handle is tiny, the attach is cached)
+    and replay exactly like :func:`_replay_chunk`."""
+    return _replay_chunk(
+        problem, decision, attach_history(handle), starts, horizon,
+        semantics, billing, account_storage,
+    )
+
+
+def resolve_jobs(jobs: Optional[int], n_starts: int) -> int:
+    """Worker-process count the replay fan-out will actually use.
+
+    The chunking decision used to be an inline conjunction that silently
+    serialised ``jobs=0`` and spawned more workers than chunks; this is
+    the single authority both callers and tests consult.  ``None`` means
+    serial (1); ``jobs < 1`` is a configuration error; otherwise the
+    count is capped by the number of starts (one start cannot be split,
+    and a worker without a chunk is pure startup cost).
+    """
+    if jobs is None:
+        return 1
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    if n_starts <= 1:
+        return 1
+    return min(jobs, n_starts)
+
+
 def _replay_starts(
     problem: Problem,
     decision: Decision,
@@ -121,21 +160,48 @@ def _replay_starts(
     billing: BillingPolicy = CONTINUOUS,
     account_storage: bool = False,
 ) -> list[RunResult]:
-    if jobs is not None and jobs > 1 and starts.size > 1:
+    n_jobs = resolve_jobs(jobs, int(starts.size))
+    if n_jobs > 1:
         from concurrent.futures import ProcessPoolExecutor
 
-        chunks = np.array_split(starts, min(jobs, starts.size))
+        chunks = np.array_split(starts, n_jobs)
+        # Ship the traces through shared memory instead of re-pickling
+        # the history into every chunk; fall back to pickling when the
+        # platform cannot provide shared memory.  Results are
+        # byte-identical either way (same arrays, same replay code).
+        pool_obj: Optional[SharedTracePool] = None
+        try:
+            pool_obj = SharedTracePool(history)
+        # reprolint: disable=R006 -- fail-open: no shared memory means the pickling path, counted
+        except Exception:
+            obs.get_metrics().inc("mc.shm_pool_unavailable")
+            pool_obj = None
         results: list[RunResult] = []
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = [
-                pool.submit(
-                    _replay_chunk, problem, decision, history, chunk,
-                    horizon, semantics, billing, account_storage,
-                )
-                for chunk in chunks
-            ]
-            for future in futures:  # submission order == start order
-                results.extend(future.result())
+        try:
+            with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+                if pool_obj is not None:
+                    futures = [
+                        pool.submit(
+                            _replay_chunk_shm, problem, decision,
+                            pool_obj.handle, chunk, horizon, semantics,
+                            billing, account_storage,
+                        )
+                        for chunk in chunks
+                    ]
+                else:
+                    futures = [
+                        pool.submit(
+                            _replay_chunk, problem, decision, history,
+                            chunk, horizon, semantics, billing,
+                            account_storage,
+                        )
+                        for chunk in chunks
+                    ]
+                for future in futures:  # submission order == start order
+                    results.extend(future.result())
+        finally:
+            if pool_obj is not None:
+                pool_obj.close()
         return results
     return _replay_chunk(
         problem, decision, history, starts, horizon, semantics, billing,

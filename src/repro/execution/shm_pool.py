@@ -1,0 +1,159 @@
+"""Shared-memory trace pool for multi-process Monte-Carlo replay.
+
+``evaluate_decision_mc(jobs=N)`` fans chunks of starting points out to a
+:class:`~concurrent.futures.ProcessPoolExecutor`.  Before this module,
+every submitted chunk re-pickled the full :class:`SpotPriceHistory` —
+hundreds of kilobytes of trace arrays serialized once *per chunk*, which
+for short chunks cost more than the replay itself.  The pool instead
+copies each trace's ``times``/``prices`` arrays into one
+:class:`multiprocessing.shared_memory.SharedMemory` block up front and
+ships only a tiny picklable :class:`SharedHistoryHandle`; workers attach
+lazily (first chunk of each worker) and build zero-copy numpy views over
+the block.
+
+Correctness properties:
+
+* **Byte identity** — workers see the exact float64 bytes the parent
+  wrote (a shared mapping, not a transcode), and the replay math is the
+  same :mod:`.batch_replay` code either way, so results are
+  byte-identical to the serial path and to the pickling path.
+* **Fail-open** — if the platform cannot provide shared memory (no
+  ``/dev/shm``, permissions, exotic start methods), pool construction
+  raises and the caller falls back to pickling the history; nothing
+  behavioural depends on the pool existing.
+* **Lifecycle** — the parent owns the blocks: :meth:`SharedTracePool.
+  close` unlinks them once the executor has shut down.  Workers only
+  ever map existing blocks and explicitly unregister them from the
+  ``resource_tracker`` (each worker would otherwise *unlink* the shared
+  blocks at exit, racing the parent and other workers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..market.history import MarketKey, SpotPriceHistory
+from ..market.trace import SpotPriceTrace
+
+__all__ = ["SharedHistoryHandle", "SharedTracePool", "attach_history"]
+
+
+@dataclass(frozen=True)
+class SharedHistoryHandle:
+    """Picklable description of a pooled history (one entry per trace).
+
+    Each entry is ``(type, zone, shm_name, n_segments, end_time)``; the
+    block holds ``times`` then ``prices``, each ``n_segments`` float64.
+    """
+
+    pool_id: str
+    entries: Tuple[Tuple[str, str, str, int, float], ...]
+    #: pid of the pool owner's resource-tracker process; a worker whose
+    #: tracker is the same process (fork start method) must not touch
+    #: the registrations, they are the owner's.
+    tracker_pid: int = -1
+
+
+class SharedTracePool:
+    """Parent-side owner of one shared-memory block per trace."""
+
+    def __init__(self, history: SpotPriceHistory) -> None:
+        from multiprocessing import shared_memory
+
+        self._blocks: List[object] = []
+        entries: List[Tuple[str, str, str, int, float]] = []
+        try:
+            for key, trace in history.items():
+                n = trace.n_segments
+                shm = shared_memory.SharedMemory(
+                    create=True, size=2 * n * 8
+                )
+                self._blocks.append(shm)
+                buf = np.ndarray((2 * n,), dtype=np.float64, buffer=shm.buf)
+                buf[:n] = trace.times
+                buf[n:] = trace.prices
+                entries.append(
+                    (key.instance_type, key.zone, shm.name, n,
+                     trace.end_time)
+                )
+        except BaseException:
+            self.close()
+            raise
+        self.handle = SharedHistoryHandle(
+            pool_id=entries[0][2] if entries else "empty",
+            entries=tuple(entries),
+            tracker_pid=_tracker_pid(),
+        )
+
+    def close(self) -> None:
+        """Release and unlink every block (parent side, after workers)."""
+        for shm in self._blocks:
+            try:
+                shm.close()
+                shm.unlink()
+            except OSError:
+                pass
+        self._blocks = []
+
+
+def _tracker_pid() -> int:
+    """pid of this process's resource-tracker helper (-1 if unknown)."""
+    try:
+        from multiprocessing import resource_tracker
+
+        pid = getattr(resource_tracker._resource_tracker, "_pid", None)
+        return -1 if pid is None else int(pid)
+    # reprolint: disable=R006 -- probes a CPython private; any failure means "unknown tracker"
+    except Exception:
+        return -1
+
+
+# Worker-side cache: one attached history per pool, keyed by pool_id so
+# a long-lived worker serving chunks from several evaluations never
+# re-attaches (or worse, re-copies) the same blocks.
+_ATTACHED: Dict[str, SpotPriceHistory] = {}
+_ATTACHED_BLOCKS: Dict[str, list] = {}
+
+
+def attach_history(handle: SharedHistoryHandle) -> SpotPriceHistory:
+    """The pooled history, as zero-copy views over the shared blocks.
+
+    Safe to call in the parent too (it maps the same physical pages).
+    The attached blocks stay mapped for the worker's lifetime — the
+    traces' arrays alias them.
+    """
+    cached = _ATTACHED.get(handle.pool_id)
+    if cached is not None:
+        return cached
+    from multiprocessing import shared_memory
+
+    history = SpotPriceHistory()
+    blocks: list = []
+    for type_name, zone, shm_name, n, end_time in handle.entries:
+        shm = shared_memory.SharedMemory(name=shm_name)
+        # CPython registers every attach with the resource tracker
+        # (bpo-38119), which would make this worker *unlink* the owner's
+        # blocks at exit.  Undo that — unless the tracker process is the
+        # owner's own (fork start method inherits it), in which case the
+        # attach-registration was a set no-op and unregistering here
+        # would strip the owner's entry instead.
+        if _tracker_pid() != handle.tracker_pid:
+            try:
+                from multiprocessing import resource_tracker
+
+                resource_tracker.unregister(shm._name, "shared_memory")
+            # reprolint: disable=R006 -- best-effort bpo-38119 workaround; worst case is tracker noise
+            except Exception:
+                pass
+        blocks.append(shm)
+        buf = np.ndarray((2 * n,), dtype=np.float64, buffer=shm.buf)
+        history.add(
+            MarketKey(type_name, zone),
+            SpotPriceTrace(buf[:n], buf[n:], end_time),
+        )
+    _ATTACHED[handle.pool_id] = history
+    _ATTACHED_BLOCKS[handle.pool_id] = blocks
+    return history

@@ -29,8 +29,9 @@ class SpotPriceTrace:
     """
 
     # __weakref__ lets the replay kernels key their shared per-(trace,
-    # bid) index tables on trace identity with weakref-based eviction.
-    __slots__ = ("times", "prices", "end_time", "__weakref__")
+    # bid) index tables on trace identity with weakref-based eviction;
+    # _chash caches the content hash used by the on-disk artifact store.
+    __slots__ = ("times", "prices", "end_time", "_chash", "__weakref__")
 
     def __init__(
         self,
@@ -57,6 +58,7 @@ class SpotPriceTrace:
         self.times = t
         self.prices = p
         self.end_time = float(end_time)
+        self._chash: str | None = None
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -181,6 +183,27 @@ class SpotPriceTrace:
         """Fraction of window time with spot price <= ``price``."""
         w = self.segment_durations()
         return float(w[self.prices <= price].sum() / w.sum())
+
+    def content_hash(self) -> str:
+        """SHA-256 over the exact float64 bytes of the trace.
+
+        Two traces share a hash iff their step functions are
+        bit-identical, which is the keying contract of the on-disk
+        artifact store (:mod:`repro.execution.artifacts`): equal hash
+        implies every table derived from the trace is bit-identical
+        too.  Traces are value objects — nothing mutates ``times`` /
+        ``prices`` after construction — so the digest is computed once
+        and cached on the instance.
+        """
+        if self._chash is None:
+            import hashlib
+
+            h = hashlib.sha256()
+            h.update(self.times.tobytes())
+            h.update(self.prices.tobytes())
+            h.update(self.end_time.hex().encode())
+            self._chash = h.hexdigest()
+        return self._chash
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, SpotPriceTrace):

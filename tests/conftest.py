@@ -21,6 +21,29 @@ from repro.market.history import MarketKey
 from repro.market.trace import SpotPriceTrace
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _hermetic_artifact_dir(tmp_path_factory):
+    """Point the artifact store at a per-run temp dir.
+
+    Without this, any test that plans with ``artifact_cache`` enabled
+    would read/write the developer's real ``~/.cache`` store, making
+    test outcomes depend on what was planned before.
+    """
+    import os
+
+    from repro.execution.artifacts import ARTIFACT_DIR_ENV
+
+    prev = os.environ.get(ARTIFACT_DIR_ENV)
+    os.environ[ARTIFACT_DIR_ENV] = str(
+        tmp_path_factory.mktemp("artifact-store")
+    )
+    yield
+    if prev is None:
+        os.environ.pop(ARTIFACT_DIR_ENV, None)
+    else:
+        os.environ[ARTIFACT_DIR_ENV] = prev
+
+
 @pytest.fixture
 def step_trace() -> SpotPriceTrace:
     """Price: 0.10 on [0,5), 0.50 on [5,8), 0.05 on [8,20), 2.0 on [20,24)."""

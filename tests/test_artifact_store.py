@@ -1,0 +1,231 @@
+"""Artifact-store lifecycle tests (DESIGN.md §10).
+
+Cold write → warm load bit-identity, content-hash invalidation,
+engine-fingerprint invalidation, corruption fail-open, and the config
+gating of the disk tier — at the store level and through the full
+planning pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.cloud.instance_types import get_instance_type
+from repro.config import SompiConfig
+from repro.core.optimizer import SompiOptimizer
+from repro.core.problem import OnDemandOption, Problem
+from repro.core.two_level import clear_shared_caches
+from repro.execution import artifacts, kernels
+from repro.execution.artifacts import ArtifactStore, get_store
+from repro.market.history import SpotPriceHistory
+from repro.market.trace import SpotPriceTrace
+from tests.conftest import make_group
+
+
+def alternating_trace(cheap=0.05, dear=0.8, period=6.0, hours=240.0):
+    times, prices = [], []
+    k = 0
+    while k * period < hours:
+        times += [k * period, k * period + period / 2]
+        prices += [cheap, dear]
+        k += 1
+    return SpotPriceTrace(times, prices, hours + period)
+
+
+def _problem_and_history(flat_price=0.04):
+    g1 = make_group(zone="us-east-1a", exec_time=8.0, overhead=0.1, recovery=0.1)
+    g2 = make_group(zone="us-east-1b", exec_time=8.0, overhead=0.1, recovery=0.1)
+    problem = Problem(
+        groups=(g1, g2),
+        ondemand_options=(
+            OnDemandOption(get_instance_type("c3.xlarge"), 8, 7.0),
+        ),
+        deadline=14.0,
+    )
+    history = SpotPriceHistory()
+    history.add(g1.key, alternating_trace())
+    history.add(g2.key, SpotPriceTrace([0.0], [flat_price], 300.0))
+    return problem, history
+
+
+def _plan(history, tmp_root, problem=None, **overrides):
+    if problem is None:
+        problem, _ = _problem_and_history()
+    cfg = SompiConfig(
+        kappa=2,
+        bid_levels=5,
+        artifact_dir=str(tmp_root),
+        **overrides,
+    )
+    return SompiOptimizer.from_history(problem, history, cfg).plan()
+
+
+def _assert_same_plan(a, b):
+    assert a.decision == b.decision
+    assert a.expectation.cost == b.expectation.cost  # exact, not approx
+    assert a.expectation.time == b.expectation.time
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_shared_caches()
+    kernels.clear_table_cache()
+    yield
+    clear_shared_caches()
+    kernels.clear_table_cache()
+
+
+class TestStoreUnit:
+    def test_roundtrip_is_bit_identical(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        rng = np.random.default_rng(0)
+        arrays = {
+            "f": rng.standard_normal(257),
+            "i": np.arange(19, dtype=np.int64),
+            "b": rng.standard_normal(31) > 0.0,
+        }
+        assert store.save("k", "ab" + "0" * 62, arrays)
+        loaded = store.load("k", "ab" + "0" * 62)
+        assert set(loaded) == set(arrays)
+        for name, arr in arrays.items():
+            assert loaded[name].dtype == arr.dtype
+            assert loaded[name].tobytes() == arr.tobytes()
+
+    def test_missing_artifact_is_a_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        before = obs.get_metrics().get("cache.artifact_misses.k")
+        assert store.load("k", "ff" + "0" * 62) is None
+        assert obs.get_metrics().get("cache.artifact_misses.k") == before + 1
+
+    def test_corrupt_artifact_fails_open_and_is_unlinked(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        key = "cd" + "0" * 62
+        store.save("k", key, {"x": np.arange(4.0)})
+        path = store.path_for("k", key)
+        path.write_bytes(b"this is not an npz file")
+        before = obs.get_metrics().get("cache.artifact_errors.k")
+        assert store.load("k", key) is None
+        assert obs.get_metrics().get("cache.artifact_errors.k") == before + 1
+        assert not path.exists()  # bad file dropped so a rebuild repairs it
+
+    def test_save_leaves_no_temp_files(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.save("k", "ee" + "0" * 62, {"x": np.arange(3.0)})
+        assert not list(tmp_path.rglob("*.tmp"))
+
+
+class TestStoreGating:
+    def test_disabled_without_either_cache_flag(self, tmp_path):
+        base = dict(artifact_dir=str(tmp_path))
+        assert get_store(SompiConfig(table_cache=False, **base)) is None
+        assert get_store(SompiConfig(artifact_cache=False, **base)) is None
+        assert get_store(SompiConfig(**base)) is not None
+
+    def test_empty_env_override_disables_default_dir(self, monkeypatch):
+        monkeypatch.setenv(artifacts.ARTIFACT_DIR_ENV, "")
+        assert get_store(SompiConfig()) is None
+
+
+class TestPlannerLifecycle:
+    def test_cold_write_then_warm_load_is_bit_identical(self, tmp_path):
+        problem, history = _problem_and_history()
+        metrics = obs.get_metrics()
+        cold = _plan(history, tmp_path, problem)
+        assert metrics.get("cache.artifact_writes.group_tables") >= 1
+        # Simulate a fresh process: memory caches emptied, disk intact.
+        clear_shared_caches()
+        hits = metrics.get("cache.artifact_hits.group_tables")
+        warm = _plan(history, tmp_path, problem)
+        assert metrics.get("cache.artifact_hits.group_tables") > hits
+        _assert_same_plan(cold, warm)
+
+    def test_content_hash_invalidates(self, tmp_path):
+        problem, history_a = _problem_and_history(flat_price=0.04)
+        _plan(history_a, tmp_path, problem)
+        clear_shared_caches()
+        # Different trace content must key differently: no table hits.
+        _, history_b = _problem_and_history(flat_price=0.06)
+        metrics = obs.get_metrics()
+        hits = metrics.get("cache.artifact_hits.group_tables")
+        from_store = _plan(history_b, tmp_path, problem)
+        assert metrics.get("cache.artifact_hits.group_tables") == hits
+        # And the stale artifacts never leak into the new plan.
+        clear_shared_caches()
+        fresh = _plan(history_b, tmp_path / "empty", problem)
+        _assert_same_plan(from_store, fresh)
+
+    def test_engine_fingerprint_invalidates(self, tmp_path, monkeypatch):
+        problem, history = _problem_and_history()
+        cold = _plan(history, tmp_path, problem)
+        clear_shared_caches()
+        monkeypatch.setitem(artifacts._FINGERPRINT_MEMO, "fp", "0" * 64)
+        metrics = obs.get_metrics()
+        hits = metrics.get("cache.artifact_hits.group_tables")
+        rebuilt = _plan(history, tmp_path, problem)
+        assert metrics.get("cache.artifact_hits.group_tables") == hits
+        _assert_same_plan(cold, rebuilt)
+
+    def test_corrupted_store_fails_open(self, tmp_path):
+        problem, history = _problem_and_history()
+        cold = _plan(history, tmp_path, problem)
+        clear_shared_caches()
+        damaged = list(tmp_path.rglob("*.npz"))
+        assert damaged
+        for path in damaged:
+            path.write_bytes(b"garbage")
+        errors_before = obs.get_metrics().get(
+            "cache.artifact_errors.group_tables"
+        )
+        warm = _plan(history, tmp_path, problem)
+        _assert_same_plan(cold, warm)
+        assert (
+            obs.get_metrics().get("cache.artifact_errors.group_tables")
+            > errors_before
+        )
+        # The bad files were unlinked and the rebuild re-saved valid
+        # artifacts in their place: every surviving file loads cleanly.
+        for path in tmp_path.rglob("*.npz"):
+            assert path.read_bytes() != b"garbage"
+            with np.load(path, allow_pickle=False):
+                pass
+
+    def test_plan_invariant_under_cache_and_grid_config(self, tmp_path):
+        problem, history = _problem_and_history()
+        reference = _plan(history, tmp_path / "ref", problem)
+        for overrides in (
+            dict(table_cache=False),
+            dict(artifact_cache=False),
+            dict(grid_eval=False),
+            dict(grid_eval=False, table_cache=False),
+        ):
+            clear_shared_caches()
+            got = _plan(history, tmp_path / "alt", problem, **overrides)
+            _assert_same_plan(reference, got)
+
+
+class TestKernelTablesDiskTier:
+    def _big_trace(self):
+        n = kernels._STORE_MIN_SEGMENTS
+        rng = np.random.default_rng(42)
+        times = np.arange(n, dtype=np.float64) * 0.25
+        prices = 0.05 + 0.2 * rng.random(n)
+        return SpotPriceTrace(times, prices, float(n) * 0.25)
+
+    def test_roundtrip_is_bit_identical(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(artifacts.ARTIFACT_DIR_ENV, str(tmp_path))
+        trace = self._big_trace()
+        built = kernels.trace_tables(trace, 0.15)
+        assert list(tmp_path.rglob("*.npz"))  # cold pass wrote the tier
+        kernels.clear_table_cache()
+        loaded = kernels.trace_tables(trace, 0.15)
+        for field in ("times", "times_ext", "below",
+                      "nxt_below_ext", "nxt_above_ext"):
+            a, b = getattr(built, field), getattr(loaded, field)
+            assert a.dtype == b.dtype and a.tobytes() == b.tobytes()
+
+    def test_small_traces_stay_memory_only(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(artifacts.ARTIFACT_DIR_ENV, str(tmp_path))
+        kernels.trace_tables(SpotPriceTrace([0.0], [0.05], 10.0), 0.1)
+        assert not list(tmp_path.rglob("*.npz"))

@@ -18,6 +18,18 @@ import pytest
 from repro import obs
 from repro.cloud.billing import CONTINUOUS, HOURLY
 from repro.cloud.instance_types import get_instance_type
+from repro.core.bid_search import log_bid_candidates
+from repro.core.cost_model import GroupOutcome
+from repro.core.grid_eval import (
+    bid_matrix_rows,
+    optimal_interval_grid,
+    outcome_grid,
+)
+from repro.core.interval import (
+    _interval_candidates,
+    optimal_interval,
+    young_interval,
+)
 from repro.core.problem import Decision, GroupDecision, OnDemandOption, Problem
 from repro.core.two_level import clear_shared_caches
 from repro.execution.adaptive import AdaptiveExecutor
@@ -25,6 +37,7 @@ from repro.execution.batch_replay import replay_batch, replay_window_batch
 from repro.execution.kernels import table_cache_size
 from repro.execution.montecarlo import sample_start_times
 from repro.execution.replay import replay_decision, replay_window
+from repro.market.failure import FailureModel
 from repro.market.generator import (
     RegimeSwitchingGenerator,
     SpotMarketParams,
@@ -451,3 +464,120 @@ class TestKernelOracleParity:
                 assert have.times.tobytes() == trace.times.tobytes(), key
                 assert have.prices.tobytes() == trace.prices.tobytes(), key
                 assert have.end_time == trace.end_time, key
+
+
+class TestGridEvalParity:
+    """The planner's one-shot grid kernels (repro.core.grid_eval) against
+    their scalar oracles, exact float equality throughout."""
+
+    @staticmethod
+    def _model(seed, params=_SPIKY, sub=0):
+        gen = RegimeSwitchingGenerator(
+            params, np.random.default_rng(7000 * seed + sub)
+        )
+        return FailureModel(gen.generate(300.0), step_hours=1.0)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("levels", (1, 4, 9))
+    def test_bid_matrix_rows_matches_log_bid_candidates(self, seed, levels):
+        rng = np.random.default_rng(seed)
+        maxima = rng.uniform(0.05, 2.0, size=7)
+        floors = maxima * rng.uniform(0.05, 0.95, size=7)
+        rows = bid_matrix_rows(maxima, levels, floors)
+        assert len(rows) == maxima.size
+        for hi, lo, row in zip(maxima, floors, rows):
+            ref = log_bid_candidates(float(hi), levels, float(lo))
+            assert row.shape == ref.shape
+            assert row.tobytes() == ref.tobytes()
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_outcome_grid_matches_from_pmf(self, seed):
+        spec = make_group(exec_time=6.0, overhead=0.4, recovery=0.5)
+        fm = self._model(seed)
+        bid = float(
+            log_bid_candidates(fm.max_price(), 4, fm.min_price())[2]
+        )
+        n = max(1, int(np.ceil(spec.exec_time / fm.step_hours)))
+        pmf = fm.failure_pmf(bid, n)
+        price = fm.expected_price(bid)
+        young = young_interval(
+            spec.checkpoint_overhead, fm.mttf_hours(bid), spec.exec_time
+        )
+        candidates = _interval_candidates(spec, young, fm.step_hours)
+        productive, wall, ratios = outcome_grid(
+            spec, candidates, pmf.size - 1, fm.step_hours
+        )
+        for c in range(candidates.size):
+            o = GroupOutcome.from_pmf(
+                spec, bid, float(candidates[c]), pmf, price, fm.step_hours
+            )
+            assert productive.tobytes() == o.productive.tobytes()
+            assert wall[c].tobytes() == o.wall.tobytes()
+            assert ratios[c].tobytes() == o.ratios.tobytes()
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("refine", (False, True))
+    def test_optimal_interval_grid_bitwise_equal(self, seed, refine):
+        od = OnDemandOption(get_instance_type("c3.xlarge"), 8, 5.0)
+        for overhead, recovery in ((0.4, 0.5), (0.05, 0.1)):
+            spec = make_group(
+                exec_time=6.0, overhead=overhead, recovery=recovery
+            )
+            fm = self._model(seed, sub=int(overhead * 100))
+            for bid in log_bid_candidates(fm.max_price(), 4, fm.min_price()):
+                got = optimal_interval_grid(
+                    spec, float(bid), fm, od, fm.step_hours, refine=refine
+                )
+                ref = optimal_interval(
+                    spec, float(bid), fm, od, fm.step_hours, refine=refine
+                )
+                # Exact equality: same candidate wins via the same
+                # sequential strict-inequality incumbent rule.
+                assert got == ref
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_subset_bounds_matches_scalar_subset_bound(self, seed, tmp_path):
+        from itertools import combinations
+
+        from repro.config import DEFAULT_CONFIG
+        from repro.core import grid_eval
+        from repro.core.two_level import TwoLevelOptimizer
+
+        clear_shared_caches()
+        g1 = make_group(exec_time=6.0, overhead=0.4, recovery=0.5)
+        g2 = dataclasses.replace(
+            make_group(zone="us-east-1b", exec_time=6.0, overhead=0.3,
+                       recovery=0.4),
+        )
+        g3 = make_group(key_type="c3.xlarge", exec_time=4.0, overhead=0.2,
+                        recovery=0.3, n_instances=2)
+        od = OnDemandOption(get_instance_type("c3.xlarge"), 8, 5.0)
+        problem = Problem(
+            groups=(g1, g2, g3), ondemand_options=(od,), deadline=40.0
+        )
+        models = {}
+        for sub, spec in enumerate(problem.groups):
+            gen = RegimeSwitchingGenerator(
+                _SPIKY if sub % 2 == 0 else _CALMER,
+                np.random.default_rng(9000 * seed + sub),
+            )
+            models[spec.key] = FailureModel(
+                gen.generate(300.0), step_hours=1.0
+            )
+        config = DEFAULT_CONFIG.with_(artifact_dir=str(tmp_path))
+        opt = TwoLevelOptimizer(problem, models, od, config)
+        tables = [opt.group_table(i) for i in range(3)]
+        min_spot = np.array([t.e_spot.min() for t in tables])
+        min_ratio = np.array([t.e_ratio.min() for t in tables])
+        min_wall = np.array([t.e_wall.min() for t in tables])
+        for size in (1, 2, 3):
+            subsets = list(combinations(range(3), size))
+            cost_b, time_b = grid_eval.subset_bounds(
+                min_spot, min_ratio, min_wall,
+                np.array(subsets, dtype=np.intp), od.full_run_cost,
+            )
+            for row, subset in enumerate(subsets):
+                chosen = [tables[i] for i in subset]
+                assert float(cost_b[row]) == opt._subset_bound(chosen, "cost")
+                assert float(time_b[row]) == opt._subset_bound(chosen, "time")
+        clear_shared_caches()

@@ -1,0 +1,110 @@
+"""Shared-memory Monte-Carlo fan-out tests.
+
+The contract (montecarlo docstring): chunked parallel replay is
+byte-identical to the serial path for the same rng — now with the
+history shipped through one shared-memory block per trace instead of
+re-pickled per chunk — and :func:`resolve_jobs` is the single authority
+for the worker-count decision.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.cloud.instance_types import get_instance_type
+from repro.core.problem import Decision, GroupDecision, OnDemandOption, Problem
+from repro.errors import ConfigurationError
+from repro.execution import montecarlo
+from repro.execution.montecarlo import replay_many, resolve_jobs
+from repro.execution.shm_pool import SharedTracePool, attach_history
+from repro.market.history import SpotPriceHistory
+from repro.market.trace import SpotPriceTrace
+from tests.conftest import make_group
+
+
+@pytest.fixture
+def spiky_problem():
+    g = make_group(exec_time=6.0, overhead=0.5, recovery=0.5, n_instances=2)
+    od = OnDemandOption(get_instance_type("c3.xlarge"), 8, 5.0)
+    problem = Problem(groups=(g,), ondemand_options=(od,), deadline=20.0)
+    times, prices = [], []
+    for k in range(60):
+        times += [12.0 * k, 12.0 * k + 9.0]
+        prices += [0.05, 0.90]
+    h = SpotPriceHistory()
+    h.add(g.key, SpotPriceTrace(times, prices, 732.0))
+    return problem, h
+
+
+class TestResolveJobs:
+    def test_none_means_serial(self):
+        assert resolve_jobs(None, 100) == 1
+
+    @pytest.mark.parametrize("jobs", [0, -1, -7])
+    def test_nonpositive_is_a_configuration_error(self, jobs):
+        with pytest.raises(ConfigurationError):
+            resolve_jobs(jobs, 100)
+
+    def test_single_start_stays_serial(self):
+        assert resolve_jobs(8, 1) == 1
+        assert resolve_jobs(8, 0) == 1
+
+    def test_capped_by_start_count(self):
+        assert resolve_jobs(8, 3) == 3
+        assert resolve_jobs(3, 100) == 3
+
+
+class TestSharedTracePool:
+    def test_attach_is_byte_identical(self, spiky_problem):
+        _, h = spiky_problem
+        pool = SharedTracePool(h)
+        try:
+            attached = attach_history(pool.handle)
+            for key, trace in h.items():
+                got = attached.get(key)
+                assert got.times.tobytes() == trace.times.tobytes()
+                assert got.prices.tobytes() == trace.prices.tobytes()
+                assert got.end_time == trace.end_time
+        finally:
+            pool.close()
+
+    def test_close_is_idempotent(self, spiky_problem):
+        _, h = spiky_problem
+        pool = SharedTracePool(h)
+        pool.close()
+        pool.close()
+
+
+class TestParallelByteIdentity:
+    def _decision(self):
+        return Decision(groups=(GroupDecision(0, 0.10, 2.0),), ondemand_index=0)
+
+    @pytest.mark.parametrize("jobs", [2, 3, 8])
+    def test_results_match_serial_exactly(self, spiky_problem, jobs):
+        problem, h = spiky_problem
+        d = self._decision()
+        serial = replay_many(problem, d, h, 12, np.random.default_rng(7))
+        parallel = replay_many(
+            problem, d, h, 12, np.random.default_rng(7), jobs=jobs
+        )
+        assert serial == parallel
+
+    def test_pickling_fallback_matches_and_is_counted(
+        self, spiky_problem, monkeypatch
+    ):
+        problem, h = spiky_problem
+        d = self._decision()
+        serial = replay_many(problem, d, h, 8, np.random.default_rng(3))
+
+        def boom(history):
+            raise OSError("no /dev/shm here")
+
+        monkeypatch.setattr(montecarlo, "SharedTracePool", boom)
+        before = obs.get_metrics().get("mc.shm_pool_unavailable")
+        fallback = replay_many(
+            problem, d, h, 8, np.random.default_rng(3), jobs=2
+        )
+        assert obs.get_metrics().get("mc.shm_pool_unavailable") == before + 1
+        assert serial == fallback

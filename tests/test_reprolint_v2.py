@@ -267,6 +267,91 @@ class TestUnitDataflow:
         }, select=["R003"])
         assert result.findings == []
 
+    _MIX_ARG_CALLER = """
+        from repro.core import b
+
+        def schedule(runtime_hours):
+            budget = runtime_hours
+            return b.spend(budget)
+    """
+    _MIX_ARG_CALLEE = """
+        def spend(cost_usd):
+            return cost_usd * 1.1
+    """
+
+    def test_mix_arg_regression_fixture_cross_module(self, tmp_path):
+        """The argument-binding fixture: the caller has no mixed
+        arithmetic, no suffix conflict and no return drift — the only
+        evidence is an hours-valued variable bound to a dollars-named
+        parameter in another module.  The intraprocedural engine is
+        provably silent; only the caller→callee binding check fires."""
+        from repro.analysis.dataflow import analyze_scope, default_call_resolver
+        import ast as _ast
+
+        # Oracle: the same scope without a param_resolver (the engine as
+        # it stood before the binding check) produces zero issues.
+        tree = _ast.parse(textwrap.dedent(self._MIX_ARG_CALLER))
+        fn = next(
+            n for n in _ast.walk(tree) if isinstance(n, _ast.FunctionDef)
+        )
+        silent = analyze_scope(
+            fn.body,
+            params=("runtime_hours",),
+            resolver=default_call_resolver,
+        )
+        assert silent.issues == []
+
+        result = lint_tree(tmp_path, {
+            "src/repro/core/a.py": self._MIX_ARG_CALLER,
+            "src/repro/core/b.py": self._MIX_ARG_CALLEE,
+        }, select=["R003"])
+        assert rule_ids(result) == ["R003"]
+        assert "bound to parameter 'cost_usd'" in result.findings[0].message
+        assert "hours" in result.findings[0].message
+
+    def test_mix_arg_keyword_binding(self, tmp_path):
+        result = lint_tree(tmp_path, {
+            "src/repro/core/a.py": """
+                from repro.core import b
+
+                def schedule(runtime_hours):
+                    return b.spend(cost_usd=runtime_hours)
+            """,
+            "src/repro/core/b.py": self._MIX_ARG_CALLEE,
+        }, select=["R003"])
+        assert rule_ids(result) == ["R003"]
+        assert "bound to parameter 'cost_usd'" in result.findings[0].message
+
+    def test_mix_arg_star_splat_stops_positional_binding(self, tmp_path):
+        """Past a ``*args`` splat the alignment is unknowable — the
+        check must stay silent rather than guess."""
+        result = lint_tree(tmp_path, {
+            "src/repro/core/a.py": """
+                from repro.core import b
+
+                def schedule(extras, runtime_hours):
+                    return b.combine(*extras, runtime_hours)
+            """,
+            "src/repro/core/b.py": """
+                def combine(cost_usd, budget_usd=0.0):
+                    return cost_usd + budget_usd
+            """,
+        }, select=["R003"])
+        assert result.findings == []
+
+    def test_mix_arg_matching_and_unknown_dims_stay_silent(self, tmp_path):
+        result = lint_tree(tmp_path, {
+            "src/repro/core/a.py": """
+                from repro.core import b
+
+                def schedule(cost_usd, mystery):
+                    b.spend(cost_usd)
+                    b.spend(mystery)
+            """,
+            "src/repro/core/b.py": self._MIX_ARG_CALLEE,
+        }, select=["R003"])
+        assert result.findings == []
+
 
 # ----------------------------------------------------------------------
 # R007 — ledger-audit coverage
