@@ -1,0 +1,40 @@
+"""``repro.backtest`` — deterministic plan/holdout backtesting.
+
+Splits long price traces into plan/holdout partitions (with a written
+:class:`~repro.core.windows.BacktestManifest`), runs the planner on each
+plan window, replays the chosen plan over the untouched holdout window,
+and reports realized-vs-predicted cost and deadline behaviour plus
+failure-probability calibration.  See DESIGN.md §11.
+"""
+
+from __future__ import annotations
+
+from ..core.windows import (
+    BacktestManifest,
+    BacktestWindow,
+    sample_window_starts,
+    split_history,
+    split_windows,
+)
+from .harness import (
+    BacktestReport,
+    GroupCalibrationPoint,
+    WindowResult,
+    build_manifest,
+    plan_window,
+    run_backtest,
+)
+
+__all__ = [
+    "BacktestManifest",
+    "BacktestReport",
+    "BacktestWindow",
+    "GroupCalibrationPoint",
+    "WindowResult",
+    "build_manifest",
+    "plan_window",
+    "run_backtest",
+    "sample_window_starts",
+    "split_history",
+    "split_windows",
+]

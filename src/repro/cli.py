@@ -6,6 +6,8 @@ Subcommands::
     python -m repro.cli replay   --app BT --deadline-factor 1.5 --samples 300
     python -m repro.cli markets  --days 7
     python -m repro.cli export-history --out history.json
+    python -m repro.cli backtest --windows 3 --train-days 14 --test-days 7
+    python -m repro.cli artifacts [--clear | --evict]
     python -m repro.cli experiments --only fig5 tab2   (alias of the runner)
 
 ``plan`` prints the SOMPI decision for a workload; ``replay``
@@ -13,7 +15,10 @@ additionally Monte-Carlo-evaluates it against the traces; ``markets``
 summarises the synthetic spot markets; ``export-history`` writes the
 generated history to a JSON file (the same format ``--history`` loads,
 so real AWS dumps converted via :mod:`repro.market.io` can be swapped
-in).
+in); ``backtest`` runs the plan/holdout time-travel harness
+(:mod:`repro.backtest`) and writes a manifest plus per-window
+realized-vs-predicted and calibration tables; ``artifacts`` inspects,
+evicts from, or clears the on-disk artifact store.
 """
 
 from __future__ import annotations
@@ -120,6 +125,79 @@ def cmd_export_history(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_backtest(args: argparse.Namespace) -> int:
+    from .backtest import BacktestManifest, build_manifest, run_backtest
+    from .experiments.env import LOOSE_DEADLINE_FACTOR, TIGHT_DEADLINE_FACTOR
+    from .experiments.ext_backtest import report_tables
+    from .experiments.runner import _write_json
+    from .units import HOURS_PER_DAY
+
+    env = _build_env(args)
+    if args.quick:
+        n_windows, train_days, test_days = 2, 10.0, 5.0
+        n_samples = 40
+        apps = ["BT"]
+        deadline_factors = [("loose", LOOSE_DEADLINE_FACTOR)]
+    else:
+        n_windows, train_days, test_days = (
+            args.windows, args.train_days, args.test_days
+        )
+        n_samples = args.samples
+        apps = args.apps
+        deadline_factors = [
+            ("loose", LOOSE_DEADLINE_FACTOR),
+            ("tight", TIGHT_DEADLINE_FACTOR),
+        ]
+    if args.from_manifest:
+        manifest = BacktestManifest.load(args.from_manifest)
+        print(f"loaded manifest from {args.from_manifest}")
+    else:
+        manifest = build_manifest(
+            env,
+            n_windows=n_windows,
+            plan_hours=train_days * HOURS_PER_DAY,
+            holdout_hours=test_days * HOURS_PER_DAY,
+            apps=apps,
+            deadline_factors=deadline_factors,
+            n_samples=n_samples,
+        )
+    report = run_backtest(env, manifest)
+    manifest.save(args.manifest)
+    tables = report_tables(report)
+    for table in tables:
+        print(table.format_table())
+        print()
+    _write_json(tables, env.seed, manifest.n_samples, args.out)
+    print(f"wrote manifest to {args.manifest}")
+    print(f"wrote JSON results to {args.out}")
+    return 0
+
+
+def cmd_artifacts(args: argparse.Namespace) -> int:
+    from .execution.artifacts import ArtifactStore, default_artifact_dir
+
+    root = Path(args.dir) if args.dir else default_artifact_dir()
+    if root is None:
+        print("artifact store disabled (REPRO_ARTIFACT_DIR is empty)")
+        return 1
+    store = ArtifactStore(root)
+    if args.clear:
+        removed, freed = store.clear()
+        print(f"cleared {removed} artifact(s), freed {freed} bytes")
+    elif args.evict or args.max_bytes is not None or args.max_age_days is not None:
+        removed, freed = store.evict(
+            max_bytes=args.max_bytes, max_age_days=args.max_age_days
+        )
+        print(f"evicted {removed} artifact(s), freed {freed} bytes")
+    stats = store.stats()
+    print(f"store: {store.root}")
+    print(f"{stats['files']} artifact(s), {stats['bytes']} bytes")
+    for kind in sorted(stats["by_kind"]):
+        entry = stats["by_kind"][kind]
+        print(f"  {kind:>12}: {entry['files']:5d} files  {entry['bytes']:12d} bytes")
+    return 0
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     from .experiments import runner
 
@@ -163,6 +241,65 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p_export)
     p_export.add_argument("--out", type=str, required=True)
     p_export.set_defaults(fn=cmd_export_history)
+
+    p_bt = sub.add_parser(
+        "backtest", help="plan/holdout time-travel backtest (DESIGN.md §11)"
+    )
+    _add_common(p_bt)
+    p_bt.add_argument("--windows", type=int, default=3)
+    p_bt.add_argument("--train-days", type=float, default=14.0)
+    p_bt.add_argument("--test-days", type=float, default=7.0)
+    p_bt.add_argument("--apps", nargs="*", default=["BT"])
+    p_bt.add_argument("--samples", type=int, default=150)
+    p_bt.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke settings: 2 windows, 10+5 days, 40 replays, BT loose",
+    )
+    p_bt.add_argument(
+        "--manifest",
+        type=str,
+        default="backtest_manifest.json",
+        help="where to write the window manifest",
+    )
+    p_bt.add_argument(
+        "--from-manifest",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="re-run an existing manifest instead of building one",
+    )
+    p_bt.add_argument(
+        "--out",
+        type=str,
+        default="experiments_results.json",
+        help="where to write the result tables as JSON",
+    )
+    p_bt.set_defaults(fn=cmd_backtest)
+
+    p_art = sub.add_parser(
+        "artifacts", help="inspect, evict from, or clear the artifact store"
+    )
+    p_art.add_argument(
+        "--dir", type=str, default=None, help="store root (default: resolved)"
+    )
+    p_art.add_argument("--clear", action="store_true", help="remove everything")
+    p_art.add_argument(
+        "--evict", action="store_true", help="apply the size/age policy now"
+    )
+    p_art.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="evict least-recently-used artifacts down to this size",
+    )
+    p_art.add_argument(
+        "--max-age-days",
+        type=float,
+        default=None,
+        help="evict artifacts untouched for longer than this",
+    )
+    p_art.set_defaults(fn=cmd_artifacts)
 
     p_exp = sub.add_parser("experiments", help="run the paper experiments")
     p_exp.add_argument("--seed", type=int, default=7)

@@ -70,6 +70,14 @@ class SompiConfig:
         Root directory of the artifact store.  ``None`` (default)
         resolves via the ``REPRO_ARTIFACT_DIR`` environment variable,
         falling back to the user cache directory.
+    artifact_max_bytes:
+        Size cap of the artifact store in bytes.  When set (or when the
+        ``REPRO_ARTIFACT_MAX_BYTES`` environment variable, which wins,
+        is set), least-recently-used artifacts are evicted until the
+        store fits — on store open and periodically as writes
+        accumulate.  ``None`` (default) means the store only grows;
+        ``repro artifacts --evict`` / ``--clear`` manage it manually.
+        Eviction only changes what is cached, never any result.
     grid_eval:
         Evaluate each subset's (bid x interval) candidate grid with the
         one-shot vectorized evaluator (:mod:`repro.core.grid_eval`)
@@ -102,6 +110,7 @@ class SompiConfig:
     table_cache: bool = True
     artifact_cache: bool = True
     artifact_dir: str | None = None
+    artifact_max_bytes: int | None = None
     grid_eval: bool = True
     audit: bool = False
 
@@ -120,6 +129,11 @@ class SompiConfig:
             )
         if self.max_miss_probability is not None:
             check_fraction("max_miss_probability", self.max_miss_probability)
+        if self.artifact_max_bytes is not None and self.artifact_max_bytes < 1:
+            raise ValueError(
+                f"artifact_max_bytes must be >= 1 or None, "
+                f"got {self.artifact_max_bytes}"
+            )
 
     def with_(self, **kwargs: Any) -> "SompiConfig":
         """Return a copy with the given fields replaced."""

@@ -1,0 +1,300 @@
+"""Plan/holdout window splitting for time-travel backtests (DESIGN.md §11).
+
+The backtest harness (:mod:`repro.backtest`) scores the planner the way
+"Application-centric Resource Provisioning for Amazon EC2 Spot
+Instances" scores its models: decide on a *plan* window of price
+history, then live through a disjoint *holdout* window the planner never
+saw.  This module owns the partitioning primitives and the written
+record of one backtest — the :class:`BacktestManifest` — so that a run
+is reproducible from the manifest alone (window bounds, seed, engine
+fingerprint, trace content hashes).
+
+Everything here is pure bookkeeping over trace windows; the planner and
+replay drivers live in :mod:`repro.backtest` (which may import the
+execution layer — this module must not, to keep ``core`` cycle-free).
+All times are hours on the traces' absolute axis.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..market.history import SpotPriceHistory
+from ..market.trace import SpotPriceTrace
+
+__all__ = [
+    "BacktestManifest",
+    "BacktestWindow",
+    "sample_window_starts",
+    "split_history",
+    "split_windows",
+]
+
+#: Manifest document format identifier (bump on schema changes).
+MANIFEST_FORMAT = "repro.backtest-manifest.v1"
+
+
+@dataclass(frozen=True)
+class BacktestWindow:
+    """One plan/holdout partition of the price history.
+
+    The planner may read ``[plan_start, plan_end)``; replays draw their
+    starting points from ``[plan_end, holdout_end)`` and never overlap
+    the plan window — ``plan_end`` is the hard wall between "past" and
+    "future".
+    """
+
+    index: int
+    plan_start: float  # hours
+    plan_end: float  # hours; also the holdout start
+    holdout_end: float  # hours
+
+    def __post_init__(self) -> None:
+        if not self.plan_start < self.plan_end < self.holdout_end:
+            raise ConfigurationError(
+                f"window {self.index}: need plan_start < plan_end < "
+                f"holdout_end, got [{self.plan_start}, {self.plan_end}, "
+                f"{self.holdout_end})"
+            )
+
+    @property
+    def plan_hours(self) -> float:
+        return self.plan_end - self.plan_start
+
+    @property
+    def holdout_hours(self) -> float:
+        return self.holdout_end - self.plan_end
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "plan_start": self.plan_start,
+            "plan_end": self.plan_end,
+            "holdout_end": self.holdout_end,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "BacktestWindow":
+        return cls(
+            index=int(doc["index"]),
+            plan_start=float(doc["plan_start"]),
+            plan_end=float(doc["plan_end"]),
+            holdout_end=float(doc["holdout_end"]),
+        )
+
+
+def split_windows(
+    start_time: float,
+    end_time: float,
+    n_windows: int,
+    plan_hours: float,
+    holdout_hours: float,
+    stride_hours: Optional[float] = None,
+) -> Tuple[BacktestWindow, ...]:
+    """Tile ``[start_time, end_time)`` into rolling plan/holdout windows.
+
+    Window ``i`` plans on ``[start + i*stride, start + i*stride + plan)``
+    and holds out the following ``holdout_hours``.  The default stride is
+    ``holdout_hours`` (rolling origin: consecutive holdouts are disjoint
+    and contiguous, each plan window absorbs the previous holdout).
+    Raises :class:`ConfigurationError` when the span cannot fit the
+    requested windows — never silently samples outside the trace.
+    """
+    if n_windows < 1:
+        raise ConfigurationError(f"n_windows must be >= 1, got {n_windows}")
+    if plan_hours <= 0.0 or holdout_hours <= 0.0:
+        raise ConfigurationError(
+            f"plan_hours and holdout_hours must be > 0, got "
+            f"{plan_hours} and {holdout_hours}"
+        )
+    stride = holdout_hours if stride_hours is None else stride_hours
+    if stride <= 0.0:
+        raise ConfigurationError(f"stride_hours must be > 0, got {stride}")
+    needed = (n_windows - 1) * stride + plan_hours + holdout_hours
+    available = end_time - start_time
+    if needed > available + 1e-9:
+        raise ConfigurationError(
+            f"history [{start_time:g}, {end_time:g}) h is too short for "
+            f"{n_windows} window(s) of {plan_hours:g} h plan + "
+            f"{holdout_hours:g} h holdout at stride {stride:g} h "
+            f"(need {needed:g} h, have {available:g} h)"
+        )
+    windows = []
+    for i in range(n_windows):
+        t0 = start_time + i * stride
+        windows.append(
+            BacktestWindow(
+                index=i,
+                plan_start=t0,
+                plan_end=t0 + plan_hours,
+                holdout_end=t0 + plan_hours + holdout_hours,
+            )
+        )
+    return tuple(windows)
+
+
+def sample_window_starts(
+    trace: SpotPriceTrace,
+    span_hours: float,
+    n: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """``n`` uniform window starts leaving ``span_hours`` of trace.
+
+    This is the checked replacement for the inverted-range bug in the
+    accuracy experiment: ``rng.uniform(start, end - span)`` with
+    ``span > duration`` silently produced start times *outside* the
+    trace.  Here a trace too short for the span raises
+    :class:`ConfigurationError` instead.
+    """
+    if span_hours <= 0.0:
+        raise ConfigurationError(f"span_hours must be > 0, got {span_hours}")
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    latest = trace.end_time - span_hours
+    if latest <= trace.start_time:
+        raise ConfigurationError(
+            f"trace window [{trace.start_time:g}, {trace.end_time:g}) h is "
+            f"too short for a {span_hours:g} h sampling span"
+        )
+    return rng.uniform(trace.start_time, latest, size=n)
+
+
+def split_history(
+    history: SpotPriceHistory, window: BacktestWindow
+) -> Tuple[SpotPriceHistory, SpotPriceHistory]:
+    """``(plan, holdout)`` histories for one window.
+
+    Each side holds fresh trace objects sliced to its half-open window,
+    so the planner *cannot* read holdout prices: they are simply absent
+    from the history object it is handed.  Because artifact-store and
+    planner-cache keys hash trace content, the two tiers can never share
+    cached tables either — the slices have different content by
+    construction (disjoint windows).
+    """
+    plan = SpotPriceHistory()
+    holdout = SpotPriceHistory()
+    for key, trace in history.items():
+        plan.add(key, trace.slice(window.plan_start, window.plan_end))
+        holdout.add(key, trace.slice(window.plan_end, window.holdout_end))
+    return plan, holdout
+
+
+@dataclass(frozen=True)
+class BacktestManifest:
+    """The written record of one backtest: enough to re-run it exactly.
+
+    ``trace_hashes`` pins the input data (market -> trace content hash)
+    and ``engine_fingerprint`` pins the code (the artifact store's
+    engine hash, computed by the harness); a reloaded manifest re-run on
+    matching data and code is bit-identical.  ``deadline_factors`` maps
+    a label ("loose"/"tight") to the factor multiplying Baseline Time.
+    """
+
+    seed: int
+    engine_fingerprint: str
+    plan_hours: float
+    holdout_hours: float
+    stride_hours: float
+    n_samples: int
+    apps: Tuple[str, ...]
+    deadline_factors: Tuple[Tuple[str, float], ...]
+    windows: Tuple[BacktestWindow, ...]
+    trace_hashes: Tuple[Tuple[str, str], ...]
+
+    def __post_init__(self) -> None:
+        if not self.windows:
+            raise ConfigurationError("a manifest needs at least one window")
+        if not self.apps:
+            raise ConfigurationError("a manifest needs at least one app")
+        if self.n_samples < 1:
+            raise ConfigurationError(
+                f"n_samples must be >= 1, got {self.n_samples}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "format": MANIFEST_FORMAT,
+            "seed": self.seed,
+            "engine_fingerprint": self.engine_fingerprint,
+            "plan_hours": self.plan_hours,
+            "holdout_hours": self.holdout_hours,
+            "stride_hours": self.stride_hours,
+            "n_samples": self.n_samples,
+            "apps": list(self.apps),
+            "deadline_factors": [[name, f] for name, f in self.deadline_factors],
+            "windows": [w.to_dict() for w in self.windows],
+            "trace_hashes": [[market, h] for market, h in self.trace_hashes],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "BacktestManifest":
+        fmt = doc.get("format")
+        if fmt != MANIFEST_FORMAT:
+            raise ConfigurationError(
+                f"unknown manifest format {fmt!r}; expected {MANIFEST_FORMAT}"
+            )
+        return cls(
+            seed=int(doc["seed"]),
+            engine_fingerprint=str(doc["engine_fingerprint"]),
+            plan_hours=float(doc["plan_hours"]),
+            holdout_hours=float(doc["holdout_hours"]),
+            stride_hours=float(doc["stride_hours"]),
+            n_samples=int(doc["n_samples"]),
+            apps=tuple(str(a) for a in doc["apps"]),
+            deadline_factors=tuple(
+                (str(name), float(f)) for name, f in doc["deadline_factors"]
+            ),
+            windows=tuple(
+                BacktestWindow.from_dict(w) for w in doc["windows"]
+            ),
+            trace_hashes=tuple(
+                (str(m), str(h)) for m, h in doc["trace_hashes"]
+            ),
+        )
+
+    def save(self, path) -> None:
+        """Write the manifest as deterministic JSON (sorted keys).
+
+        Python's ``json`` emits floats via ``repr``, which round-trips
+        float64 exactly — reloading yields bit-identical window bounds.
+        """
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path) -> "BacktestManifest":
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))
+
+    def check_traces(self, history: SpotPriceHistory) -> None:
+        """Raise unless ``history`` matches the recorded content hashes.
+
+        A manifest replayed over different price data would silently
+        measure something else; this is the guard the re-run path calls
+        before planning.
+        """
+        actual = {str(key): trace.content_hash() for key, trace in history.items()}
+        for market, expected in self.trace_hashes:
+            got = actual.get(market)
+            if got != expected:
+                raise ConfigurationError(
+                    f"manifest trace hash mismatch for {market}: manifest "
+                    f"has {expected[:12]}..., history has "
+                    f"{'absent' if got is None else got[:12] + '...'}"
+                )
+
+
+def manifest_trace_hashes(
+    history: SpotPriceHistory,
+) -> Tuple[Tuple[str, str], ...]:
+    """Sorted ``(market, content_hash)`` pairs for a manifest."""
+    return tuple(
+        (str(key), trace.content_hash()) for key, trace in history.items()
+    )

@@ -40,13 +40,14 @@ import io
 import os
 import tempfile
 from pathlib import Path
-from typing import Dict, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from .. import obs
 from ..core.keys import hash_key
 from ..core.two_level import register_cache_clearer
+from ..errors import ConfigurationError
 
 __all__ = [
     "ARTIFACT_VERSION",
@@ -56,6 +57,7 @@ __all__ = [
     "engine_fingerprint",
     "get_store",
     "hash_key",
+    "resolve_max_bytes",
 ]
 
 #: Bump when the artifact layout or array schema changes; old versions
@@ -65,6 +67,16 @@ ARTIFACT_VERSION = 1
 #: Environment override for the store location; an empty value disables
 #: the store entirely (useful to pin hermetic test runs).
 ARTIFACT_DIR_ENV = "REPRO_ARTIFACT_DIR"
+
+#: Environment override for the size cap (bytes); takes precedence over
+#: ``config.artifact_max_bytes``.  Empty means "no limit".
+ARTIFACT_MAX_BYTES_ENV = "REPRO_ARTIFACT_MAX_BYTES"
+
+#: Writes between periodic in-process eviction passes (when a size cap
+#: is configured).  A full directory scan per write would dominate the
+#: save cost; once per batch keeps the store near its cap without
+#: showing up in profiles.
+_EVICT_EVERY_WRITES = 64
 
 # reprolint: disable=R002 -- process-lifetime memo: sources cannot change under a running interpreter, so clearing would only re-read them
 _FINGERPRINT_MEMO: Dict[str, str] = {}
@@ -117,11 +129,44 @@ def default_artifact_dir() -> Optional[Path]:
     return base / "repro-sompi" / "artifacts"
 
 
-class ArtifactStore:
-    """A directory of content-addressed ``.npz`` artifacts."""
+def resolve_max_bytes(config=None) -> Optional[int]:
+    """The effective store size cap, or ``None`` for unlimited.
 
-    def __init__(self, root: Path) -> None:
+    The ``REPRO_ARTIFACT_MAX_BYTES`` environment variable wins over
+    ``config.artifact_max_bytes``; an empty value means "no limit"
+    (mirroring the dir override's empty-means-disabled convention).
+    """
+    env = os.environ.get(ARTIFACT_MAX_BYTES_ENV)
+    if env is not None:
+        if not env.strip():
+            return None
+        try:
+            value = int(env)
+        except ValueError:
+            raise ConfigurationError(
+                f"{ARTIFACT_MAX_BYTES_ENV} must be an integer byte count, "
+                f"got {env!r}"
+            ) from None
+        return value if value > 0 else None
+    return getattr(config, "artifact_max_bytes", None)
+
+
+class ArtifactStore:
+    """A directory of content-addressed ``.npz`` artifacts.
+
+    ``max_bytes`` (set by :func:`get_store` from the config/environment)
+    arms the LRU eviction policy: hits touch the artifact's mtime, and
+    :meth:`evict` drops the least-recently-used files until the store
+    fits.  Eviction runs when a store handle is first opened and every
+    ``_EVICT_EVERY_WRITES`` saves; it only ever changes what is *cached*
+    — a planned result is bit-identical whether its tables were evicted
+    or not.
+    """
+
+    def __init__(self, root: Path, max_bytes: Optional[int] = None) -> None:
         self.root = Path(root) / f"v{ARTIFACT_VERSION}"
+        self.max_bytes = max_bytes
+        self._writes_since_evict = 0
 
     # ------------------------------------------------------------------
     def path_for(self, kind: str, key: str) -> Path:
@@ -148,6 +193,12 @@ class ArtifactStore:
             except OSError:
                 pass
             return None
+        # Touch the file so "recently used" means recently *read*, not
+        # just recently written — the LRU eviction sorts by mtime.
+        try:
+            os.utime(path)
+        except OSError:
+            pass
         metrics.inc(f"cache.artifact_hits.{kind}")
         return arrays
 
@@ -183,6 +234,126 @@ class ArtifactStore:
             metrics.inc(f"cache.artifact_write_errors.{kind}")
             return False
         metrics.inc(f"cache.artifact_writes.{kind}")
+        if self.max_bytes is not None:
+            self._writes_since_evict += 1
+            if self._writes_since_evict >= _EVICT_EVERY_WRITES:
+                self._writes_since_evict = 0
+                self.evict(max_bytes=self.max_bytes)
+        return True
+
+    # ------------------------------------------------------------------
+    # Inspection and eviction (``repro artifacts`` CLI verb)
+    # ------------------------------------------------------------------
+    def _entries(self) -> List[Tuple[Path, os.stat_result]]:
+        """Every artifact file with its stat; fail-open per file."""
+        if not self.root.is_dir():
+            return []
+        entries = []
+        for path in self.root.rglob("*.npz"):
+            try:
+                entries.append((path, path.stat()))
+            except OSError:
+                continue
+        return entries
+
+    def stats(self) -> dict:
+        """``{"files", "bytes", "by_kind": {kind: {"files", "bytes"}}}``."""
+        by_kind: Dict[str, dict] = {}
+        total_files = 0
+        total_bytes = 0
+        for path, st in self._entries():
+            rel = path.relative_to(self.root).parts
+            kind = rel[0] if len(rel) > 1 else "(unsorted)"
+            entry = by_kind.setdefault(kind, {"files": 0, "bytes": 0})
+            entry["files"] += 1
+            entry["bytes"] += st.st_size
+            total_files += 1
+            total_bytes += st.st_size
+        return {"files": total_files, "bytes": total_bytes, "by_kind": by_kind}
+
+    def evict(
+        self,
+        max_bytes: Optional[int] = None,
+        max_age_days: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> Tuple[int, int]:
+        """Drop LRU artifacts until the store fits; ``(files, bytes)``.
+
+        ``max_bytes`` defaults to the configured cap (environment over
+        config); with neither a size nor an age bound the call is a
+        no-op.  Age is measured against ``now`` (epoch seconds; defaults
+        to the wall clock) minus each file's last-touch mtime.  Every
+        unlink is fail-open: a file another process already removed or
+        holds open just stops counting.
+        """
+        if max_bytes is None:
+            max_bytes = self.max_bytes if self.max_bytes else resolve_max_bytes()
+        if max_bytes is None and max_age_days is None:
+            return 0, 0
+        # Oldest-touched first; path as tie-break so the order (and
+        # therefore what a capped store keeps) is deterministic.
+        entries = sorted(
+            self._entries(), key=lambda e: (e[1].st_mtime, str(e[0]))
+        )
+        removed = 0
+        freed = 0
+        if max_age_days is not None:
+            if now is None:
+                import time
+
+                # Store hygiene only: which cache files survive never
+                # affects planned results (fail-open contract above).
+                # reprolint: disable=R001 -- eviction age check is cache hygiene, not simulation state
+                now = time.time()
+            cutoff = now - max_age_days * 86400.0
+            fresh = []
+            for path, st in entries:
+                if st.st_mtime < cutoff:
+                    if self._unlink_counted(path):
+                        removed += 1
+                        freed += st.st_size
+                else:
+                    fresh.append((path, st))
+            entries = fresh
+        if max_bytes is not None:
+            total = sum(st.st_size for _path, st in entries)
+            for path, st in entries:
+                if total <= max_bytes:
+                    break
+                if self._unlink_counted(path):
+                    total -= st.st_size
+                    removed += 1
+                    freed += st.st_size
+        if removed:
+            obs.get_metrics().inc("cache.artifact_evictions", removed)
+        return removed, freed
+
+    def clear(self) -> Tuple[int, int]:
+        """Remove every artifact; ``(files, bytes)`` actually removed."""
+        removed = 0
+        freed = 0
+        for path, st in self._entries():
+            if self._unlink_counted(path):
+                removed += 1
+                freed += st.st_size
+        # Prune now-empty shard directories, best-effort.
+        if self.root.is_dir():
+            for path in sorted(
+                self.root.rglob("*"), key=lambda p: len(p.parts), reverse=True
+            ):
+                if path.is_dir():
+                    try:
+                        path.rmdir()
+                    except OSError:
+                        pass
+        return removed, freed
+
+    @staticmethod
+    def _unlink_counted(path: Path) -> bool:
+        try:
+            path.unlink()
+        except OSError:
+            return False
         return True
 
 
@@ -211,7 +382,14 @@ def get_store(config) -> Optional[ArtifactStore]:
     key = str(root)
     store = _STORE_MEMO.get(key)
     if store is None:
-        store = _STORE_MEMO[key] = ArtifactStore(root)
+        store = _STORE_MEMO[key] = ArtifactStore(
+            root, max_bytes=resolve_max_bytes(config)
+        )
+        # Apply the size policy once per opened handle (so a store left
+        # over the cap by an older process shrinks on next use), then
+        # periodically as writes accumulate (see ``save``).
+        if store.max_bytes is not None:
+            store.evict(max_bytes=store.max_bytes)
     return store
 
 

@@ -113,21 +113,48 @@ def _tracker_pid() -> int:
 
 # Worker-side cache: one attached history per pool, keyed by pool_id so
 # a long-lived worker serving chunks from several evaluations never
-# re-attaches (or worse, re-copies) the same blocks.
+# re-attaches (or worse, re-copies) the same blocks.  Superseded pools
+# are evicted on the next attach (see ``_evict_superseded``): each
+# evaluation builds a fresh pool, so without eviction a worker reused
+# across evaluations would keep every dead pool's mappings open for its
+# whole lifetime.
 _ATTACHED: Dict[str, SpotPriceHistory] = {}
 _ATTACHED_BLOCKS: Dict[str, list] = {}
+
+
+def _evict_superseded(current_pool_id: str) -> None:
+    """Close and forget every attached pool except ``current_pool_id``.
+
+    The owner of a superseded pool has long since unlinked its blocks;
+    only this process's mappings keep the pages alive.  Dropping the
+    cached history first releases the numpy views, so the close
+    normally succeeds; a ``BufferError`` means someone still holds a
+    view into the block — then the mapping must stay (closing a mapped
+    buffer out from under a live view would be a crash, not a cleanup)
+    and it is simply no longer tracked.
+    """
+    for pool_id in [p for p in _ATTACHED_BLOCKS if p != current_pool_id]:
+        _ATTACHED.pop(pool_id, None)
+        for shm in _ATTACHED_BLOCKS.pop(pool_id, []):
+            try:
+                shm.close()
+            except BufferError:
+                pass
 
 
 def attach_history(handle: SharedHistoryHandle) -> SpotPriceHistory:
     """The pooled history, as zero-copy views over the shared blocks.
 
     Safe to call in the parent too (it maps the same physical pages).
-    The attached blocks stay mapped for the worker's lifetime — the
-    traces' arrays alias them.
+    The attached blocks stay mapped until a *different* pool is
+    attached — each evaluation builds its own pool, so attaching a new
+    one means every other cached pool is dead and its blocks are closed
+    (the worker-lifetime leak this replaces kept them all mapped).
     """
     cached = _ATTACHED.get(handle.pool_id)
     if cached is not None:
         return cached
+    _evict_superseded(handle.pool_id)
     from multiprocessing import shared_memory
 
     history = SpotPriceHistory()

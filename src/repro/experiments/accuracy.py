@@ -18,6 +18,9 @@ from typing import Sequence
 
 import numpy as np
 
+from .. import obs
+from ..core.windows import sample_window_starts
+from ..errors import ConfigurationError
 from ..market.failure import FailureModel
 from ..market.history import MarketKey
 from ..market.stats import relative_difference
@@ -49,11 +52,23 @@ def run_failure_rate(
     )
     rng = env.rng.fresh("acc:windows")
     diffs = []
+    skipped = []
+    span = (train_days + test_days) * HOURS_PER_DAY
     for key in markets:
         trace = env.history.get(key)
-        span = (train_days + test_days) * HOURS_PER_DAY
-        for _ in range(n_windows):
-            t0 = float(rng.uniform(trace.start_time, trace.end_time - span))
+        # The naive ``rng.uniform(start, end - span)`` this replaces got
+        # an *inverted* range on traces shorter than the span and
+        # silently sampled start times outside the trace; the checked
+        # helper raises instead, and a too-short market is skipped with
+        # a visible note rather than polluting the statistics.
+        try:
+            starts = sample_window_starts(trace, span, n_windows, rng)
+        except ConfigurationError:
+            skipped.append(key)
+            obs.get_metrics().inc("accuracy.skipped_markets")
+            continue
+        for t0 in starts:
+            t0 = float(t0)
             split = t0 + train_days * HOURS_PER_DAY
             train_window = trace.slice(t0, split)
             train = FailureModel(train_window)
@@ -71,6 +86,18 @@ def run_failure_rate(
                     # with near-zero mass are dominated by sampling noise.
                     if a > min_probability:
                         diffs.append(relative_difference(a, a_hat))
+    if skipped:
+        result.notes.append(
+            f"skipped {len(skipped)} market(s) shorter than the "
+            f"{train_days:g}+{test_days:g} day window: "
+            + ", ".join(str(k) for k in skipped)
+        )
+    if len(skipped) == len(markets):
+        raise ConfigurationError(
+            f"every market's trace is shorter than the "
+            f"{train_days:g}+{test_days:g} day sampling window; "
+            f"shorten the windows or provide longer traces"
+        )
     diffs = np.array(diffs)
     result.add_row("samples", int(diffs.size))
     result.add_row("median relative difference", float(np.median(diffs)))

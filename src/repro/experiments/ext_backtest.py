@@ -1,0 +1,139 @@
+"""EXT-BT — time-travel backtest with holdout windows (extension).
+
+The accuracy experiment (Section 5.4.1) spot-checks the model at a
+point; this extension evaluates it the way replay-simulation systems
+score forecasters: rolling plan/holdout windows over the history, the
+planner deciding from each plan window alone, and holdout replays
+scoring the decision on prices the planner never saw.  Three tables
+come out of one run:
+
+* **EXT-BT-WIN** — per-(window, app, deadline) realized vs predicted
+  cost, time and deadline-miss rate over the holdout window.
+* **EXT-BT-CAL** — calibration deciles: plan-model out-of-bid failure
+  probabilities vs the realized holdout failure frequencies.
+* **EXT-BT-TRG** — the re-plan trigger log (windows where realized
+  outcomes drifted far enough from the prediction that an adaptive
+  system should re-plan).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..backtest import BacktestReport, build_manifest, run_backtest
+from ..units import HOURS_PER_DAY
+from .common import ExperimentResult
+from .env import ExperimentEnv, LOOSE_DEADLINE_FACTOR, TIGHT_DEADLINE_FACTOR
+
+
+def report_tables(report: BacktestReport) -> list[ExperimentResult]:
+    """The three result tables for one backtest report.
+
+    Shared by the experiment runner and the ``backtest`` CLI verb so
+    both emit byte-identical rows for the same report.
+    """
+    manifest = report.manifest
+    win = ExperimentResult(
+        experiment_id="EXT-BT-WIN",
+        title=(
+            f"Backtest: realized vs predicted over "
+            f"{len(manifest.windows)} holdout window(s)"
+        ),
+        columns=(
+            "window",
+            "app",
+            "deadline",
+            "pred $",
+            "real $",
+            "pred miss",
+            "real miss",
+            "spot done",
+        ),
+    )
+    for r in report.results:
+        win.add_row(
+            r.window.index,
+            r.app,
+            r.deadline_name,
+            r.predicted_cost,
+            r.realized_cost,
+            r.predicted_miss,
+            r.realized_miss,
+            r.spot_completion_rate,
+        )
+    win.data["results"] = report.results
+    win.notes.append(
+        f"plan {manifest.plan_hours / HOURS_PER_DAY:g} d / holdout "
+        f"{manifest.holdout_hours / HOURS_PER_DAY:g} d, "
+        f"{manifest.n_samples} replays per cell; planner saw only the "
+        f"plan window of each partition"
+    )
+
+    cal = ExperimentResult(
+        experiment_id="EXT-BT-CAL",
+        title="Backtest calibration: predicted failure prob vs realized",
+        columns=("decile", "points", "replays", "predicted", "realized"),
+    )
+    for b in report.calibration_bins():
+        cal.add_row(
+            f"[{b['bin_lo']:.1f},{b['bin_hi']:.1f})",
+            b["n_points"],
+            b["n_replays"],
+            b["predicted"],
+            b["realized"],
+        )
+    cal.data["points"] = report.calibration_points()
+    cal.notes.append(
+        "perfect calibration puts realized == predicted in every decile; "
+        "empty deciles report zeros"
+    )
+
+    trg = ExperimentResult(
+        experiment_id="EXT-BT-TRG",
+        title="Backtest re-plan triggers (realized drifted off prediction)",
+        columns=("window", "app", "deadline", "trigger", "predicted", "realized"),
+    )
+    for row in report.trigger_rows():
+        trg.add_row(
+            row["window"],
+            row["app"],
+            row["deadline"],
+            row["trigger"],
+            row["predicted"],
+            row["realized"],
+        )
+    trg.notes.append(
+        "cost-overrun: realized mean cost > 1.25x prediction; "
+        "miss-overrun: realized miss rate > predicted + 0.10"
+    )
+    return [win, cal, trg]
+
+
+def run(
+    env: ExperimentEnv,
+    n_windows: int = 3,
+    train_days: float = 14.0,
+    test_days: float = 7.0,
+    apps: Sequence[str] = ("BT",),
+    deadline_factors: Optional[Sequence[Tuple[str, float]]] = None,
+    n_samples: int = 150,
+) -> list[ExperimentResult]:
+    if deadline_factors is None:
+        deadline_factors = (
+            ("loose", LOOSE_DEADLINE_FACTOR),
+            ("tight", TIGHT_DEADLINE_FACTOR),
+        )
+    manifest = build_manifest(
+        env,
+        n_windows=n_windows,
+        plan_hours=train_days * HOURS_PER_DAY,
+        holdout_hours=test_days * HOURS_PER_DAY,
+        apps=apps,
+        deadline_factors=deadline_factors,
+        n_samples=n_samples,
+    )
+    report = run_backtest(env, manifest)
+    tables = report_tables(report)
+    for table in tables:
+        table.data["manifest"] = manifest.to_dict()
+    return tables

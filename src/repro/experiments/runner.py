@@ -35,6 +35,7 @@ from .. import obs
 
 from . import (
     accuracy,
+    ext_backtest,
     ext_correlation,
     ext_semantics,
     fig1_price_variation,
@@ -68,6 +69,7 @@ def _all_experiments(env: ExperimentEnv, n_samples: int) -> dict:
         # Extensions beyond the paper (see EXPERIMENTS.md).
         "ext-sem": lambda: [ext_semantics.run(env, n_samples=n_samples)],
         "ext-corr": lambda: [ext_correlation.run(env, n_samples=n_samples)],
+        "ext-backtest": lambda: ext_backtest.run(env, n_samples=n_samples),
     }
 
 
@@ -106,7 +108,7 @@ def main(argv: Iterable[str] | None = None) -> int:
         nargs="*",
         default=None,
         help="subset of experiment ids (fig1 fig2 fig4 fig5 tab2 fig6 fig7 "
-        "fig8 params accuracy reduction ext-sem ext-corr)",
+        "fig8 params accuracy reduction ext-sem ext-corr ext-backtest)",
     )
     parser.add_argument(
         "--json",

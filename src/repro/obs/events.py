@@ -22,6 +22,11 @@ fallback   ``hours``, ``cost`` — on-demand recovery started (key "ondemand")
 window     ``index``, ``t1``, ``cost``, ``gained`` — adaptive window done
 ========== ===========================================================
 
+The backtest harness (:mod:`repro.backtest`, DESIGN.md §11) adds two
+run-level kinds: ``backtest.window`` (per-cell realized vs predicted
+cost/miss, ``key`` is ``"app:deadline"``) and ``backtest.replan`` (a
+re-plan trigger fired for that cell, with the ``trigger`` name).
+
 Every event carries an absolute ``time`` in trace hours.  Events derived
 from the same :class:`~repro.execution.results.RunResult` are identical
 no matter which replay path produced it — the scalar and the batched
@@ -38,7 +43,16 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional
 
 #: The known event kinds (anything else is rejected at emit time).
-EVENT_KINDS = ("launch", "checkpoint", "death", "complete", "fallback", "window")
+EVENT_KINDS = (
+    "launch",
+    "checkpoint",
+    "death",
+    "complete",
+    "fallback",
+    "window",
+    "backtest.window",
+    "backtest.replan",
+)
 
 
 @dataclass(frozen=True)

@@ -8,6 +8,8 @@ planning pipeline.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -229,3 +231,114 @@ class TestKernelTablesDiskTier:
         monkeypatch.setenv(artifacts.ARTIFACT_DIR_ENV, str(tmp_path))
         kernels.trace_tables(SpotPriceTrace([0.0], [0.05], 10.0), 0.1)
         assert not list(tmp_path.rglob("*.npz"))
+
+
+class TestEviction:
+    """LRU size/age eviction and the config/env cap resolution."""
+
+    def _fill(self, store, n=4, kind="kernel"):
+        """``n`` same-size artifacts with mtimes 1000, 1001, ... (oldest
+        first by key order)."""
+        paths = []
+        for i in range(n):
+            key = f"{i:02x}" + "f" * 62
+            assert store.save(kind, key, {"a": np.arange(32.0)})
+            p = store.path_for(kind, key)
+            os.utime(p, (1000.0 + i, 1000.0 + i))
+            paths.append(p)
+        return paths
+
+    def test_size_eviction_drops_least_recently_used(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        paths = self._fill(store, n=4)
+        keep = sum(p.stat().st_size for p in paths[2:])
+        removed, freed = store.evict(max_bytes=keep)
+        assert removed == 2
+        assert freed > 0
+        assert not paths[0].exists() and not paths[1].exists()
+        assert paths[2].exists() and paths[3].exists()
+
+    def test_load_touches_mtime_so_hits_stay_resident(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        (old,) = self._fill(store, n=1)
+        assert old.stat().st_mtime == 1000.0
+        assert store.load("kernel", "00" + "f" * 62) is not None
+        assert old.stat().st_mtime > 1000.0
+
+    def test_age_eviction_against_explicit_now(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        paths = self._fill(store, n=4)  # mtimes 1000..1003
+        removed, _freed = store.evict(
+            max_age_days=1.0, now=1002.0 + 86400.0
+        )
+        assert removed == 2
+        assert [p.exists() for p in paths] == [False, False, True, True]
+
+    def test_evict_without_bounds_is_a_noop(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        self._fill(store, n=2)
+        assert store.evict() == (0, 0)
+        assert store.stats()["files"] == 2
+
+    def test_clear_removes_everything(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        self._fill(store, n=3, kind="planner")
+        removed, freed = store.clear()
+        assert removed == 3 and freed > 0
+        assert store.stats() == {"files": 0, "bytes": 0, "by_kind": {}}
+
+    def test_save_runs_periodic_eviction(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(artifacts, "_EVICT_EVERY_WRITES", 2)
+        probe = ArtifactStore(tmp_path)
+        self._fill(probe, n=1)
+        one_file = probe.stats()["bytes"]
+        probe.clear()
+        store = ArtifactStore(tmp_path, max_bytes=one_file)
+        self._fill(store, n=5)
+        # The cap is enforced within one eviction period of the writes.
+        assert store.stats()["bytes"] <= 2 * one_file
+
+    def test_get_store_applies_cap_on_open(self, tmp_path, monkeypatch):
+        seed = ArtifactStore(tmp_path)
+        paths = self._fill(seed, n=4)
+        keep = sum(p.stat().st_size for p in paths[3:])
+        monkeypatch.setenv(artifacts.ARTIFACT_MAX_BYTES_ENV, str(keep))
+        store = get_store(SompiConfig(artifact_dir=str(tmp_path)))
+        assert store is not None and store.max_bytes == keep
+        assert store.stats()["bytes"] <= keep
+        assert paths[3].exists() and not paths[0].exists()
+
+
+class TestMaxBytesResolution:
+    def test_config_value_used_without_env(self, monkeypatch):
+        monkeypatch.delenv(artifacts.ARTIFACT_MAX_BYTES_ENV, raising=False)
+        cfg = SompiConfig(artifact_max_bytes=123)
+        assert artifacts.resolve_max_bytes(cfg) == 123
+        assert artifacts.resolve_max_bytes(SompiConfig()) is None
+
+    def test_env_wins_over_config(self, monkeypatch):
+        monkeypatch.setenv(artifacts.ARTIFACT_MAX_BYTES_ENV, "50")
+        assert artifacts.resolve_max_bytes(
+            SompiConfig(artifact_max_bytes=100)
+        ) == 50
+
+    def test_empty_env_means_no_limit(self, monkeypatch):
+        monkeypatch.setenv(artifacts.ARTIFACT_MAX_BYTES_ENV, "")
+        assert artifacts.resolve_max_bytes(
+            SompiConfig(artifact_max_bytes=100)
+        ) is None
+
+    def test_nonpositive_env_means_no_limit(self, monkeypatch):
+        monkeypatch.setenv(artifacts.ARTIFACT_MAX_BYTES_ENV, "0")
+        assert artifacts.resolve_max_bytes(None) is None
+
+    def test_garbage_env_raises(self, monkeypatch):
+        from repro.errors import ConfigurationError
+
+        monkeypatch.setenv(artifacts.ARTIFACT_MAX_BYTES_ENV, "lots")
+        with pytest.raises(ConfigurationError, match="integer"):
+            artifacts.resolve_max_bytes(None)
+
+    def test_config_rejects_nonpositive_cap(self):
+        with pytest.raises(ValueError, match="artifact_max_bytes"):
+            SompiConfig(artifact_max_bytes=0)

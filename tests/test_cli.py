@@ -88,3 +88,41 @@ class TestExportAndHistory:
         )
         assert code == 0
         assert "expected cost" in out
+
+
+class TestArtifactsVerb:
+    def test_stats_then_clear(self, capsys, tmp_path):
+        import numpy as np
+
+        from repro.execution.artifacts import ArtifactStore
+
+        store = ArtifactStore(tmp_path)
+        store.save("planner", "aa" + "0" * 62, {"x": np.zeros(4)})
+        code, out = run_cli(capsys, "artifacts", "--dir", str(tmp_path))
+        assert code == 0
+        assert "1 artifact(s)" in out
+        assert "planner" in out
+        code, out = run_cli(capsys, "artifacts", "--dir", str(tmp_path), "--clear")
+        assert code == 0
+        assert "cleared 1 artifact(s)" in out
+        assert "0 artifact(s), 0 bytes" in out
+
+    def test_evict_down_to_max_bytes(self, capsys, tmp_path):
+        import numpy as np
+
+        from repro.execution.artifacts import ArtifactStore
+
+        store = ArtifactStore(tmp_path)
+        for i in range(3):
+            store.save("kernel", f"{i:02x}" + "0" * 62, {"x": np.zeros(16)})
+        code, out = run_cli(
+            capsys, "artifacts", "--dir", str(tmp_path), "--max-bytes", "0"
+        )
+        assert code == 0
+        assert "evicted 3 artifact(s)" in out
+
+    def test_disabled_store_reports_and_fails(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", "")
+        code, out = run_cli(capsys, "artifacts")
+        assert code == 1
+        assert "disabled" in out

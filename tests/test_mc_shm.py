@@ -108,3 +108,72 @@ class TestParallelByteIdentity:
         )
         assert obs.get_metrics().get("mc.shm_pool_unavailable") == before + 1
         assert serial == fallback
+
+
+class TestWorkerPoolEviction:
+    """Superseded pool mappings are closed, not leaked (two sequential
+    evaluations must leave exactly one pool attached)."""
+
+    def _cleanup(self):
+        from repro.execution import shm_pool
+
+        shm_pool._evict_superseded("__cleanup__")
+
+    def test_second_attach_closes_the_first_pool(self, spiky_problem):
+        from repro.execution import shm_pool
+
+        _, h = spiky_problem
+        pool_a = SharedTracePool(h)
+        pool_b = None
+        try:
+            attach_history(pool_a.handle)
+            id_a = pool_a.handle.pool_id
+            blocks_a = list(shm_pool._ATTACHED_BLOCKS[id_a])
+            assert blocks_a  # one block per trace was mapped
+
+            pool_b = SharedTracePool(h)
+            attach_history(pool_b.handle)
+            # Only the current pool is tracked ...
+            assert set(shm_pool._ATTACHED) == {pool_b.handle.pool_id}
+            assert set(shm_pool._ATTACHED_BLOCKS) == {pool_b.handle.pool_id}
+            # ... and the superseded pool's mappings were closed.
+            for shm in blocks_a:
+                assert shm.buf is None
+        finally:
+            pool_a.close()
+            if pool_b is not None:
+                pool_b.close()
+            self._cleanup()
+
+    def test_reattach_same_pool_is_cached_and_kept(self, spiky_problem):
+        from repro.execution import shm_pool
+
+        _, h = spiky_problem
+        pool = SharedTracePool(h)
+        try:
+            first = attach_history(pool.handle)
+            assert attach_history(pool.handle) is first
+            assert set(shm_pool._ATTACHED) == {pool.handle.pool_id}
+        finally:
+            pool.close()
+            self._cleanup()
+
+    def test_live_view_survives_eviction(self, spiky_problem):
+        _, h = spiky_problem
+        key, trace = next(iter(h.items()))
+        pool_a = SharedTracePool(h)
+        pool_b = None
+        try:
+            hist_a = attach_history(pool_a.handle)
+            times_view = hist_a.get(key).times  # simulate an in-flight chunk
+            del hist_a
+            pool_b = SharedTracePool(h)
+            attach_history(pool_b.handle)
+            # The mapping under the live view was not yanked: the numpy
+            # view still reads the original bytes (BufferError path).
+            assert times_view.tobytes() == trace.times.tobytes()
+        finally:
+            pool_a.close()
+            if pool_b is not None:
+                pool_b.close()
+            self._cleanup()
