@@ -1,7 +1,8 @@
 """CLI for the perf suite: ``PYTHONPATH=src python -m benchmarks.perf``.
 
-Writes ``BENCH_planning.json``, ``BENCH_replay.json`` and
-``BENCH_market.json`` at the repository root.  When a file already exists *for the same mode*
+Writes ``BENCH_planning.json``, ``BENCH_replay.json``,
+``BENCH_market.json``, ``BENCH_lint.json`` and ``BENCH_pool.json`` at
+the repository root.  When a file already exists *for the same mode*
 (quick/full), the primary metric may not regress by more than
 ``_MAX_REGRESSION`` (20%) — the run fails and the old file is kept
 unless ``--force`` is passed.  Files from the other mode are replaced
@@ -16,7 +17,7 @@ import pathlib
 import sys
 import time
 
-from . import lint, market, planning, replay
+from . import lint, market, planning, pool, replay
 
 _MAX_REGRESSION = 0.20
 _REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
@@ -26,6 +27,7 @@ _SUITES = {
     "replay": replay.run,
     "market": market.run,
     "lint": lint.run,
+    "pool": pool.run,
 }
 
 

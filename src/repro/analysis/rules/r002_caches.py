@@ -9,6 +9,16 @@ rule finds module-level cache-named dict bindings and ``lru_cache``
 functions in planner/kernel code and demands each one be cleared by a
 registered clearer (or by ``clear_shared_caches`` itself in the module
 that owns the registry).
+
+Pool/executor singletons are caches too (of provisioned worker
+processes and shared-memory segments): a module-level binding whose
+name says pool/executor and whose value is a lazy slot (``None``), a
+registry dict, or a pool-factory call must be *referenced* by a
+registered clearer — reference rather than ``.clear()`` because pool
+teardown is ``close()``/``shutdown()``/reassignment, not dict
+clearing.  ``repro.execution.pool`` is the motivating case: a warm
+shared executor that survived ``clear_shared_caches()`` would keep
+serving stale warm state to every later test.
 """
 
 from __future__ import annotations
@@ -23,11 +33,25 @@ from ..registry import Rule, in_packages, register
 CACHE_PACKAGES = ("core", "execution", "market", "mpi")
 
 _CACHE_NAME_RE = re.compile(r"(?i)cache|memo")
+_POOL_NAME_RE = re.compile(r"(?i)pool|executor")
 _DICT_FACTORIES = frozenset(
     {"dict", "OrderedDict", "defaultdict",
      "WeakKeyDictionary", "WeakValueDictionary"}
 )
 _LRU_DECORATORS = frozenset({"lru_cache", "cache"})
+
+
+def _is_poolish_value(node: ast.AST) -> bool:
+    """A value that can hold live pool state at module level: a lazy
+    ``None`` slot, a registry dict, or a pool-factory call.  Plain
+    scalar constants (sizes, pids) are configuration, not state."""
+    if isinstance(node, ast.Constant):
+        return node.value is None
+    if _is_dictish(node):
+        return True
+    return isinstance(node, ast.Call) and bool(
+        _POOL_NAME_RE.search(_call_name(node))
+    )
 
 
 def _call_name(node: ast.Call) -> str:
@@ -67,7 +91,11 @@ class RegisteredCaches(Rule):
         "function) in core/execution/market/mpi must be cleared by a "
         "function passed to repro.core.two_level.register_cache_clearer, "
         "so clear_shared_caches() stays the complete switch. The module "
-        "defining clear_shared_caches itself is the registry owner."
+        "defining clear_shared_caches itself is the registry owner. "
+        "Module-level pool/executor singletons (None slots, registry "
+        "dicts, pool-factory calls) must likewise be referenced by a "
+        "registered clearer — warm workers and shm segments are shared "
+        "caches of provisioned state."
     )
 
     def applies(self, relpath: str) -> bool:
@@ -76,10 +104,13 @@ class RegisteredCaches(Rule):
     def check(self, unit, ctx) -> Iterator[Finding]:
         caches: List[ast.AST] = []  # (assign node, name) pairs below
         cache_names: List[str] = []
+        pools: List[ast.AST] = []  # pool/executor singleton bindings
+        pool_names: List[str] = []
         lru_fns: List[ast.FunctionDef] = []
         registered: Set[str] = set()  # names passed to register_cache_clearer
         registered_attrs: Set[tuple] = set()  # (base, attr) e.g. (f, cache_clear)
         clearers: dict = {}  # function name -> set of names it .clear()s
+        referenced: dict = {}  # function name -> every Name it mentions
         owns_registry = False
 
         for node in unit.tree.body:
@@ -88,21 +119,29 @@ class RegisteredCaches(Rule):
                     node.targets if isinstance(node, ast.Assign) else [node.target]
                 )
                 value = node.value
-                if value is None or not _is_dictish(value):
+                if value is None:
                     continue
                 for target in targets:
-                    if isinstance(target, ast.Name) and _CACHE_NAME_RE.search(
-                        target.id
-                    ):
+                    if not isinstance(target, ast.Name):
+                        continue
+                    if _is_dictish(value) and _CACHE_NAME_RE.search(target.id):
                         caches.append(node)
                         cache_names.append(target.id)
+                    elif _POOL_NAME_RE.search(target.id) and _is_poolish_value(
+                        value
+                    ):
+                        pools.append(node)
+                        pool_names.append(target.id)
             elif isinstance(node, ast.FunctionDef):
                 if node.name == "clear_shared_caches":
                     owns_registry = True
                 if _is_lru_decorated(node):
                     lru_fns.append(node)
                 cleared = set()
+                names = set()
                 for sub in ast.walk(node):
+                    if isinstance(sub, ast.Name):
+                        names.add(sub.id)
                     if (
                         isinstance(sub, ast.Call)
                         and isinstance(sub.func, ast.Attribute)
@@ -111,6 +150,7 @@ class RegisteredCaches(Rule):
                     ):
                         cleared.add(sub.func.value.id)
                 clearers[node.name] = cleared
+                referenced[node.name] = names
             elif isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
                 call = node.value
                 if _call_name(call) == "register_cache_clearer":
@@ -128,8 +168,10 @@ class RegisteredCaches(Rule):
         if owns_registry:
             effective.add("clear_shared_caches")
         cleared_names: Set[str] = set()
+        touched_names: Set[str] = set()
         for fn_name in effective:
             cleared_names.update(clearers.get(fn_name, set()))
+            touched_names.update(referenced.get(fn_name, set()))
 
         for node, name in zip(caches, cache_names):
             if name not in cleared_names:
@@ -138,6 +180,18 @@ class RegisteredCaches(Rule):
                     f"module-level cache {name!r} is not cleared by any "
                     "clearer registered via register_cache_clearer; "
                     "clear_shared_caches() would miss it",
+                )
+        for node, name in zip(pools, pool_names):
+            # Teardown for a pool is close()/shutdown()/reassignment, so
+            # any reference inside a registered clearer satisfies the
+            # rule (a dict .clear() reference counts too, via Name).
+            if name not in touched_names:
+                yield self.finding(
+                    unit, node.lineno, node.col_offset,
+                    f"module-level pool/executor singleton {name!r} is "
+                    "not touched by any clearer registered via "
+                    "register_cache_clearer; clear_shared_caches() would "
+                    "leave its workers/segments warm",
                 )
         for fn in lru_fns:
             if (fn.name, "cache_clear") not in registered_attrs:

@@ -19,7 +19,14 @@ slices have disjoint content by construction.
 
 Everything is deterministic given (seed, manifest): random streams are
 derived statelessly from the seed and the (window, app, deadline) cell,
-so a manifest re-run — same process or fresh — is bit-identical.
+so a manifest re-run — same process or fresh — is bit-identical.  That
+same property makes the window×app×deadline grid embarrassingly
+parallel: ``run_backtest(jobs=N)`` fans whole cells out over the
+persistent shared :class:`~repro.execution.pool.WorkerPool` (the
+history ships through the long-lived shm registry, each worker derives
+its cell's streams from (seed, cell) exactly as the serial loop would)
+and gathers results in grid order, so ``jobs=1`` and ``jobs=N`` reports
+are bit-identical (``tests/test_worker_pool.py`` holds this down).
 """
 
 from __future__ import annotations
@@ -44,11 +51,17 @@ from ..core.windows import (
     split_windows,
 )
 from ..errors import ConfigurationError
-from ..execution.montecarlo import replay_many
+from ..execution.montecarlo import replay_many, resolve_jobs
 from ..execution.replay import decision_horizon
 from ..execution.results import MonteCarloSummary
+from ..execution.shm_pool import (
+    SharedHistoryHandle,
+    attach_history,
+    shared_trace_handle,
+)
 from ..market.failure import FailureModel
 from ..market.history import MarketKey, SpotPriceHistory
+from ..sim.rng import RngRegistry
 
 __all__ = [
     "BacktestReport",
@@ -338,25 +351,35 @@ def _group_calibration(
 
 
 def _run_cell(
-    env,
-    manifest: BacktestManifest,
+    history: SpotPriceHistory,
+    config,
+    rng: RngRegistry,
+    n_samples: int,
     window: BacktestWindow,
     app: str,
     deadline_name: str,
-    deadline_factor: float,
     problem: Problem,
 ) -> WindowResult:
-    """Plan on the window's past, replay on its future, compare."""
+    """Plan on the window's past, replay on its future, compare.
+
+    Pure compute given its arguments: every random stream derives
+    statelessly from ``rng``'s seed and the cell identity, so a worker
+    process handed the same (history content, config, seed, cell)
+    produces the bit-identical :class:`WindowResult` the serial loop
+    would.  Observability *events* are the caller's job
+    (:func:`_emit_cell`) so serial and parallel runs emit the same
+    stream from the parent process.
+    """
     metrics = obs.get_metrics()
     stream = f"backtest:{window.index}:{app}:{deadline_name}"
-    plan_history, holdout_history = split_history(env.history, window)
-    plan, models = plan_window(problem, plan_history, env.config)
+    plan_history, holdout_history = split_history(history, window)
+    plan, models = plan_window(problem, plan_history, config)
     predicted_miss = _predicted_miss(
         problem,
         plan,
         models,
-        env.config.time_step_hours,
-        env.rng.fresh(f"{stream}:miss"),
+        config.time_step_hours,
+        rng.fresh(f"{stream}:miss"),
     )
     if plan.decision.groups:
         horizon = decision_horizon(problem, plan.decision)
@@ -371,40 +394,19 @@ def _run_cell(
             problem,
             plan.decision,
             holdout_history,
-            manifest.n_samples,
-            env.rng.fresh(stream),
+            n_samples,
+            rng.fresh(stream),
         )
     summary = MonteCarloSummary.from_results(replays, problem.deadline)
     calibration = _group_calibration(
         window, app, deadline_name, problem, plan, models,
-        env.config.time_step_hours, replays,
+        config.time_step_hours, replays,
     )
     triggers = []
     if summary.mean_cost > plan.expectation.cost * (1.0 + REPLAN_COST_OVERRUN):
         triggers.append("cost-overrun")
     if summary.deadline_miss_rate > predicted_miss + REPLAN_MISS_MARGIN:
         triggers.append("miss-overrun")
-    cell_key = f"{app}:{deadline_name}"
-    obs.emit(
-        "backtest.window",
-        time=window.plan_end,
-        key=cell_key,
-        window=window.index,
-        predicted_cost=plan.expectation.cost,
-        realized_cost=summary.mean_cost,
-        predicted_miss=predicted_miss,
-        realized_miss=summary.deadline_miss_rate,
-    )
-    metrics.inc("backtest.cells")
-    for trig in triggers:
-        obs.emit(
-            "backtest.replan",
-            time=window.holdout_end,
-            key=cell_key,
-            window=window.index,
-            trigger=trig,
-        )
-        metrics.inc("backtest.replan_triggers")
     return WindowResult(
         window=window,
         app=app,
@@ -423,12 +425,74 @@ def _run_cell(
     )
 
 
-def run_backtest(env, manifest: BacktestManifest) -> BacktestReport:
+def _emit_cell(result: WindowResult) -> None:
+    """Emit one cell's observability events/counters (parent side)."""
+    metrics = obs.get_metrics()
+    cell_key = f"{result.app}:{result.deadline_name}"
+    obs.emit(
+        "backtest.window",
+        time=result.window.plan_end,
+        key=cell_key,
+        window=result.window.index,
+        predicted_cost=result.predicted_cost,
+        realized_cost=result.realized_cost,
+        predicted_miss=result.predicted_miss,
+        realized_miss=result.realized_miss,
+    )
+    metrics.inc("backtest.cells")
+    for trig in result.triggers:
+        obs.emit(
+            "backtest.replan",
+            time=result.window.holdout_end,
+            key=cell_key,
+            window=result.window.index,
+            trigger=trig,
+        )
+        metrics.inc("backtest.replan_triggers")
+
+
+def _run_cell_task(
+    shipped,
+    seed: int,
+    config,
+    n_samples: int,
+    window: BacktestWindow,
+    app: str,
+    deadline_name: str,
+    problem: Problem,
+) -> Tuple[WindowResult, dict]:
+    """Worker entry point for one cell.
+
+    ``shipped`` is either a :class:`SharedHistoryHandle` (the normal
+    path: attach the registry's shm blocks, cached per worker) or a
+    pickled :class:`SpotPriceHistory` (the fail-open path).  The
+    worker's metrics registry is reset first and its snapshot returned,
+    so the parent can fold per-cell planner/replay counters in exactly
+    as the experiments runner does.
+    """
+    obs.reset_metrics()
+    if isinstance(shipped, SharedHistoryHandle):
+        history = attach_history(shipped)
+    else:
+        history = shipped
+    result = _run_cell(
+        history, config, RngRegistry(seed), n_samples, window, app,
+        deadline_name, problem,
+    )
+    return result, obs.get_metrics().snapshot()
+
+
+def run_backtest(env, manifest: BacktestManifest, jobs=None) -> BacktestReport:
     """Run the whole manifest over ``env``'s history.
 
     Deterministic given (env seed, manifest): every random stream is a
     stateless derivation from the seed and the cell identity, and window
     bounds come from the manifest, never from clocks or fresh draws.
+
+    ``jobs=N`` runs cells (the grid's windows × apps × deadlines) in
+    the persistent shared worker pool; results are gathered in grid
+    order and every stream still derives from (seed, cell), so the
+    report is bit-identical to ``jobs=1``.
     """
     manifest.check_traces(env.history)
     if manifest.seed != env.seed:
@@ -437,21 +501,61 @@ def run_backtest(env, manifest: BacktestManifest) -> BacktestReport:
             f"{env.seed}; results would not reproduce the manifest's run"
         )
     metrics = obs.get_metrics()
-    results: List[WindowResult] = []
     # Problems depend only on the app catalog (deadlines come from
     # baseline on-demand times), so build each once across windows.
     problems: Dict[Tuple[str, str], Problem] = {}
     for app in manifest.apps:
         for dl_name, factor in manifest.deadline_factors:
             problems[(app, dl_name)] = env.problem(app, deadline_factor=factor)
-    for window in manifest.windows:
-        for app in manifest.apps:
-            for dl_name, factor in manifest.deadline_factors:
-                results.append(
-                    _run_cell(
-                        env, manifest, window, app, dl_name, factor,
-                        problems[(app, dl_name)],
+    cells = [
+        (window, app, dl_name)
+        for window in manifest.windows
+        for app in manifest.apps
+        for dl_name, _factor in manifest.deadline_factors
+    ]
+    n_jobs = resolve_jobs(jobs, len(cells))
+    results: List[WindowResult] = []
+    if n_jobs > 1:
+        from ..execution.pool import WorkerPool
+
+        # Ship the history through the long-lived shm registry (mapped
+        # once per worker); fall back to pickling it into every task.
+        try:
+            shipped = shared_trace_handle(env.history)
+        # reprolint: disable=R006 -- fail-open: no shared memory means the pickling path, counted
+        except Exception:
+            metrics.inc("mc.shm_pool_unavailable")
+            shipped = env.history
+        pool = WorkerPool.shared(n_jobs)
+        with metrics.timer("backtest.parallel"):
+            gathered = pool.run_ordered(
+                _run_cell_task,
+                [
+                    (
+                        shipped, env.seed, env.config, manifest.n_samples,
+                        window, app, dl_name, problems[(app, dl_name)],
                     )
+                    for window, app, dl_name in cells
+                ],
+            )
+        for result, snapshot in gathered:
+            metrics.merge_snapshot(snapshot)
+            results.append(result)
+    else:
+        for window, app, dl_name in cells:
+            results.append(
+                _run_cell(
+                    env.history, env.config, env.rng, manifest.n_samples,
+                    window, app, dl_name, problems[(app, dl_name)],
                 )
+            )
+    # Events and counters are emitted here — after compute, in grid
+    # order — so serial and parallel runs produce the same stream.
+    cursor = 0
+    per_window = len(manifest.apps) * len(manifest.deadline_factors)
+    for _window in manifest.windows:
+        for result in results[cursor:cursor + per_window]:
+            _emit_cell(result)
+        cursor += per_window
         metrics.inc("backtest.windows")
     return BacktestReport(manifest=manifest, results=tuple(results))

@@ -7,7 +7,7 @@ Subcommands::
     python -m repro.cli markets  --days 7
     python -m repro.cli export-history --out history.json
     python -m repro.cli backtest --windows 3 --train-days 14 --test-days 7
-    python -m repro.cli artifacts [--clear | --evict]
+    python -m repro.cli artifacts [--clear | --evict | --warm]
     python -m repro.cli experiments --only fig5 tab2   (alias of the runner)
 
 ``plan`` prints the SOMPI decision for a workload; ``replay``
@@ -18,7 +18,7 @@ so real AWS dumps converted via :mod:`repro.market.io` can be swapped
 in); ``backtest`` runs the plan/holdout time-travel harness
 (:mod:`repro.backtest`) and writes a manifest plus per-window
 realized-vs-predicted and calibration tables; ``artifacts`` inspects,
-evicts from, or clears the on-disk artifact store.
+evicts from, clears, or pre-warms the on-disk artifact store.
 """
 
 from __future__ import annotations
@@ -161,7 +161,7 @@ def cmd_backtest(args: argparse.Namespace) -> int:
             deadline_factors=deadline_factors,
             n_samples=n_samples,
         )
-    report = run_backtest(env, manifest)
+    report = run_backtest(env, manifest, jobs=args.jobs)
     manifest.save(args.manifest)
     tables = report_tables(report)
     for table in tables:
@@ -171,6 +171,27 @@ def cmd_backtest(args: argparse.Namespace) -> int:
     print(f"wrote manifest to {args.manifest}")
     print(f"wrote JSON results to {args.out}")
     return 0
+
+
+def _warm_artifacts(args: argparse.Namespace, root: Path) -> None:
+    """Pre-populate the store: plan every requested (app, deadline) cell.
+
+    Planning writes every disk artifact a later run would want — packed
+    search sidecar, group tables, trace/bid index tables — keyed by
+    trace content + engine fingerprint, so any later process over the
+    same history (CI test shards, benches, experiment runs) starts
+    disk-warm instead of recomputing them.
+    """
+    from .experiments.env import LOOSE_DEADLINE_FACTOR, TIGHT_DEADLINE_FACTOR
+
+    config = DEFAULT_CONFIG.with_(kappa=args.kappa, artifact_dir=str(root))
+    env = ExperimentEnv.paper_default(seed=args.seed, config=config)
+    factors = [("loose", LOOSE_DEADLINE_FACTOR), ("tight", TIGHT_DEADLINE_FACTOR)]
+    for app in args.apps:
+        for name, factor in factors:
+            problem = env.problem(app, deadline_factor=factor)
+            env.sompi_plan(problem)
+            print(f"warmed {app}/{name}")
 
 
 def cmd_artifacts(args: argparse.Namespace) -> int:
@@ -189,6 +210,8 @@ def cmd_artifacts(args: argparse.Namespace) -> int:
             max_bytes=args.max_bytes, max_age_days=args.max_age_days
         )
         print(f"evicted {removed} artifact(s), freed {freed} bytes")
+    if args.warm:
+        _warm_artifacts(args, root)
     stats = store.stats()
     print(f"store: {store.root}")
     print(f"{stats['files']} artifact(s), {stats['bytes']} bytes")
@@ -275,6 +298,14 @@ def build_parser() -> argparse.ArgumentParser:
         default="experiments_results.json",
         help="where to write the result tables as JSON",
     )
+    p_bt.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run grid cells in N pooled worker processes "
+        "(bit-identical to serial)",
+    )
     p_bt.set_defaults(fn=cmd_backtest)
 
     p_art = sub.add_parser(
@@ -299,6 +330,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="evict artifacts untouched for longer than this",
     )
+    p_art.add_argument(
+        "--warm",
+        action="store_true",
+        help="pre-populate the store by planning every (app, deadline) cell",
+    )
+    p_art.add_argument(
+        "--apps", nargs="*", default=["BT"], help="apps to warm (with --warm)"
+    )
+    p_art.add_argument("--seed", type=int, default=7)
+    p_art.add_argument("--kappa", type=int, default=3)
     p_art.set_defaults(fn=cmd_artifacts)
 
     p_exp = sub.add_parser("experiments", help="run the paper experiments")

@@ -14,6 +14,12 @@ scalar path.  Both accept ``jobs`` to fan the pre-drawn starting points
 out over worker processes — the starts are drawn *before* chunking and
 the chunk results are concatenated in order, so the output is
 byte-identical to a serial run regardless of ``jobs``.
+
+The fan-out goes through the persistent shared :class:`~.pool.
+WorkerPool` (DESIGN.md §12): the executor is spawned once per process
+and reused by every evaluation, and traces ship through the long-lived
+content-hash-keyed shm registry (:func:`~.shm_pool.shared_trace_handle`)
+so the same history never rebuilds its shared blocks call after call.
 """
 
 from __future__ import annotations
@@ -30,7 +36,7 @@ from ..market.history import SpotPriceHistory
 from .batch_replay import replay_batch
 from .replay import decision_horizon, replay_decision
 from .results import MonteCarloSummary, RunResult
-from .shm_pool import SharedHistoryHandle, SharedTracePool, attach_history
+from .shm_pool import SharedHistoryHandle, attach_history, shared_trace_handle
 
 
 def sample_start_times(
@@ -162,46 +168,41 @@ def _replay_starts(
 ) -> list[RunResult]:
     n_jobs = resolve_jobs(jobs, int(starts.size))
     if n_jobs > 1:
-        from concurrent.futures import ProcessPoolExecutor
+        from .pool import WorkerPool
 
         chunks = np.array_split(starts, n_jobs)
-        # Ship the traces through shared memory instead of re-pickling
-        # the history into every chunk; fall back to pickling when the
-        # platform cannot provide shared memory.  Results are
+        # Ship the traces through the long-lived shared-memory registry
+        # instead of re-pickling the history into every chunk (or
+        # rebuilding the blocks per call); fall back to pickling when
+        # the platform cannot provide shared memory.  Results are
         # byte-identical either way (same arrays, same replay code).
-        pool_obj: Optional[SharedTracePool] = None
+        handle: Optional[SharedHistoryHandle] = None
         try:
-            pool_obj = SharedTracePool(history)
+            handle = shared_trace_handle(history)
         # reprolint: disable=R006 -- fail-open: no shared memory means the pickling path, counted
         except Exception:
             obs.get_metrics().inc("mc.shm_pool_unavailable")
-            pool_obj = None
+            handle = None
+        pool = WorkerPool.shared(n_jobs)
+        if handle is not None:
+            futures = [
+                pool.submit(
+                    _replay_chunk_shm, problem, decision, handle, chunk,
+                    horizon, semantics, billing, account_storage,
+                )
+                for chunk in chunks
+            ]
+        else:
+            futures = [
+                pool.submit(
+                    _replay_chunk, problem, decision, history, chunk,
+                    horizon, semantics, billing, account_storage,
+                )
+                for chunk in chunks
+            ]
         results: list[RunResult] = []
-        try:
-            with ProcessPoolExecutor(max_workers=n_jobs) as pool:
-                if pool_obj is not None:
-                    futures = [
-                        pool.submit(
-                            _replay_chunk_shm, problem, decision,
-                            pool_obj.handle, chunk, horizon, semantics,
-                            billing, account_storage,
-                        )
-                        for chunk in chunks
-                    ]
-                else:
-                    futures = [
-                        pool.submit(
-                            _replay_chunk, problem, decision, history,
-                            chunk, horizon, semantics, billing,
-                            account_storage,
-                        )
-                        for chunk in chunks
-                    ]
-                for future in futures:  # submission order == start order
-                    results.extend(future.result())
-        finally:
-            if pool_obj is not None:
-                pool_obj.close()
+        for future in futures:  # submission order == start order
+            results.extend(future.result())
         return results
     return _replay_chunk(
         problem, decision, history, starts, horizon, semantics, billing,

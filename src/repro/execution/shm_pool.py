@@ -30,15 +30,26 @@ Correctness properties:
 
 from __future__ import annotations
 
+import os
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 import numpy as np
 
+from .. import obs
+from ..core.two_level import register_cache_clearer
 from ..market.history import MarketKey, SpotPriceHistory
 from ..market.trace import SpotPriceTrace
 
-__all__ = ["SharedHistoryHandle", "SharedTracePool", "attach_history"]
+__all__ = [
+    "SharedHistoryHandle",
+    "SharedTracePool",
+    "attach_history",
+    "close_trace_pools",
+    "history_content_key",
+    "shared_trace_handle",
+]
 
 
 @dataclass(frozen=True)
@@ -63,6 +74,7 @@ class SharedTracePool:
     def __init__(self, history: SpotPriceHistory) -> None:
         from multiprocessing import shared_memory
 
+        self._owner_pid = os.getpid()
         self._blocks: List[object] = []
         entries: List[Tuple[str, str, str, int, float]] = []
         try:
@@ -89,7 +101,15 @@ class SharedTracePool:
         )
 
     def close(self) -> None:
-        """Release and unlink every block (parent side, after workers)."""
+        """Release and unlink every block (parent side, after workers).
+
+        In a forked child an inherited pool belongs to the parent: the
+        child only drops its references — unlinking here would destroy
+        blocks the parent (and its other workers) still serve.
+        """
+        if os.getpid() != self._owner_pid:
+            self._blocks = []
+            return
         for shm in self._blocks:
             try:
                 shm.close()
@@ -184,3 +204,87 @@ def attach_history(handle: SharedHistoryHandle) -> SpotPriceHistory:
     _ATTACHED[handle.pool_id] = history
     _ATTACHED_BLOCKS[handle.pool_id] = blocks
     return history
+
+
+# ----------------------------------------------------------------------
+# Parent-side registry: one long-lived pool per history *content*
+# ----------------------------------------------------------------------
+# Keyed by a hash over every (market, trace-content-hash) pair, so two
+# history objects with bit-identical traces share one set of shm blocks
+# — and, because the handle (pool_id) is stable across calls, a warm
+# worker's cached attach keeps serving without remapping.  Before this
+# registry, every evaluate_decision_mc(jobs=N) call built and unlinked
+# a fresh pool even for the same history object (ISSUE 8).  Bounded
+# LRU: evicting a pool only unlinks shm blocks; the next call on that
+# history pays one rebuild, results are unchanged.
+
+_POOL_REGISTRY: "OrderedDict[str, SharedTracePool]" = OrderedDict()
+_POOL_REGISTRY_MAX = 8
+_POOL_REGISTRY_PID: int = -1
+
+
+def history_content_key(history: SpotPriceHistory) -> str:
+    """Content hash of a whole history: every market's trace bytes.
+
+    Equal key implies every trace is bit-identical, which is the same
+    keying contract the artifact store uses — safe to share shm blocks
+    (and therefore replay inputs) across calls.
+    """
+    import hashlib
+
+    h = hashlib.sha256()
+    for key, trace in sorted(history.items(), key=lambda kv: str(kv[0])):
+        h.update(str(key).encode())
+        h.update(b"\x00")
+        h.update(trace.content_hash().encode())
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def shared_trace_handle(history: SpotPriceHistory) -> SharedHistoryHandle:
+    """The registry's handle for this history content, building on miss.
+
+    Raises whatever :class:`SharedTracePool` raises when the platform
+    cannot provide shared memory — callers keep their fail-open
+    pickling fallback.  Hits and misses land in ``cache.shm_pool_*``
+    metrics.
+    """
+    global _POOL_REGISTRY_PID
+    pid = os.getpid()
+    if _POOL_REGISTRY_PID != pid:
+        # Fresh process — or a forked child that inherited the parent's
+        # registry: those pools are the parent's, just forget them
+        # (SharedTracePool.close() is pid-guarded anyway).
+        _POOL_REGISTRY.clear()
+        _POOL_REGISTRY_PID = pid
+    metrics = obs.get_metrics()
+    key = history_content_key(history)
+    pool = _POOL_REGISTRY.get(key)
+    if pool is not None:
+        _POOL_REGISTRY.move_to_end(key)
+        metrics.inc("cache.shm_pool_hits")
+        return pool.handle
+    metrics.inc("cache.shm_pool_misses")
+    pool = SharedTracePool(history)
+    _POOL_REGISTRY[key] = pool
+    while len(_POOL_REGISTRY) > _POOL_REGISTRY_MAX:
+        _, evicted = _POOL_REGISTRY.popitem(last=False)
+        evicted.close()
+        metrics.inc("cache.shm_pool_evictions")
+    return pool.handle
+
+
+def close_trace_pools() -> None:
+    """Unlink every registered pool's blocks (tests, process teardown).
+
+    Workers notice nothing until their next attach of a *different*
+    pool (their existing zero-copy mappings keep the pages alive); the
+    next parent-side call simply rebuilds.
+    """
+    pools = list(_POOL_REGISTRY.values())
+    _POOL_REGISTRY.clear()
+    for pool in pools:
+        pool.close()
+
+
+register_cache_clearer(close_trace_pools)

@@ -163,20 +163,21 @@ def main(argv: Iterable[str] | None = None) -> int:
         print()
 
     if args.jobs is not None and args.jobs > 1 and len(selected) > 1:
-        from concurrent.futures import ProcessPoolExecutor
+        from ..execution.pool import WorkerPool
 
-        with ProcessPoolExecutor(max_workers=args.jobs) as pool:
-            futures = {
-                name: pool.submit(
-                    _run_one, name, args.seed, n_samples, args.audit
-                )
-                for name in selected
-            }
-            # Gather in selection order for a stable, serial-identical log.
-            for name in selected:
-                results, wall, snap = futures[name].result()
-                obs.get_metrics().merge_snapshot(snap)
-                emit(name, results, wall)
+        # The persistent shared pool, not a throwaway executor: warm
+        # workers carry their table caches from experiment to experiment
+        # (and from any earlier parallel work in this process).
+        pool = WorkerPool.shared(min(args.jobs, len(selected)))
+        futures = {
+            name: pool.submit(_run_one, name, args.seed, n_samples, args.audit)
+            for name in selected
+        }
+        # Gather in selection order for a stable, serial-identical log.
+        for name in selected:
+            results, wall, snap = futures[name].result()
+            obs.get_metrics().merge_snapshot(snap)
+            emit(name, results, wall)
     else:
         for name in selected:
             t0 = time.perf_counter()

@@ -28,15 +28,22 @@ def _hermetic_artifact_dir(tmp_path_factory):
     Without this, any test that plans with ``artifact_cache`` enabled
     would read/write the developer's real ``~/.cache`` store, making
     test outcomes depend on what was planned before.
+
+    ``REPRO_TEST_ARTIFACT_DIR`` overrides the temp dir with a shared,
+    pre-warmed store (CI pre-warms one with ``repro artifacts warm``
+    before the test shards, so every shard starts disk-warm).  Safe
+    because artifacts are keyed by trace content + engine fingerprint
+    and loads are fail-open: a warm store changes timings, never
+    results.
     """
     import os
 
     from repro.execution.artifacts import ARTIFACT_DIR_ENV
 
     prev = os.environ.get(ARTIFACT_DIR_ENV)
-    os.environ[ARTIFACT_DIR_ENV] = str(
-        tmp_path_factory.mktemp("artifact-store")
-    )
+    os.environ[ARTIFACT_DIR_ENV] = os.environ.get(
+        "REPRO_TEST_ARTIFACT_DIR"
+    ) or str(tmp_path_factory.mktemp("artifact-store"))
     yield
     if prev is None:
         os.environ.pop(ARTIFACT_DIR_ENV, None)

@@ -101,7 +101,13 @@ class TestParallelByteIdentity:
         def boom(history):
             raise OSError("no /dev/shm here")
 
-        monkeypatch.setattr(montecarlo, "SharedTracePool", boom)
+        from repro.execution import shm_pool
+
+        # Drop any registered pool for this content first — the registry
+        # would otherwise serve a cached handle and never call the
+        # patched factory.
+        shm_pool.close_trace_pools()
+        monkeypatch.setattr(shm_pool, "SharedTracePool", boom)
         before = obs.get_metrics().get("mc.shm_pool_unavailable")
         fallback = replay_many(
             problem, d, h, 8, np.random.default_rng(3), jobs=2

@@ -202,6 +202,79 @@ class TestR002Caches:
         )
         assert result.findings == []
 
+    def test_flags_unregistered_pool_singleton(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            "_SHARED_POOL = None\n",
+            select=["R002"],
+        )
+        assert rule_ids(result) == ["R002"]
+
+    def test_flags_unregistered_executor_factory(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            _EXECUTOR = ProcessPoolExecutor(max_workers=2)
+            """,
+            select=["R002"],
+        )
+        assert rule_ids(result) == ["R002"]
+
+    def test_pool_singleton_with_registered_closer_is_clean(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            """
+            from repro.core.two_level import register_cache_clearer
+
+            _SHARED_POOL = None
+
+            def close_shared_pool():
+                global _SHARED_POOL
+                pool, _SHARED_POOL = _SHARED_POOL, None
+                if pool is not None:
+                    pool.close()
+
+            register_cache_clearer(close_shared_pool)
+            """,
+            select=["R002"],
+        )
+        assert result.findings == []
+
+    def test_pool_size_constants_not_flagged(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            "_POOL_MAX = 8\n_POOL_PID = -1\n",
+            select=["R002"],
+        )
+        assert result.findings == []
+
+    def test_real_pool_module_is_covered_and_clean(self):
+        """The shipped pool.py singletons are (a) in R002's sights and
+        (b) wired through registered clearers — delete the registration
+        and the rule must fire."""
+        pool_py = REPO_ROOT / "src" / "repro" / "execution" / "pool.py"
+        source = pool_py.read_text()
+        assert "register_cache_clearer(close_shared_pool)" in source
+        result = run_lint(
+            [pool_py], root=REPO_ROOT, rules=get_rules(["R002"])
+        )
+        assert result.findings == []
+        broken = source.replace(
+            "register_cache_clearer(close_shared_pool)", "", 1
+        )
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as tmp:
+            target = Path(tmp) / "src" / "repro" / "execution" / "pool.py"
+            target.parent.mkdir(parents=True)
+            target.write_text(broken)
+            result = run_lint(
+                [target], root=Path(tmp), rules=get_rules(["R002"])
+            )
+        assert "R002" in rule_ids(result)
+
 
 # ----------------------------------------------------------------------
 # R003 — units discipline
