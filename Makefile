@@ -12,13 +12,13 @@ test:
 ## replay from the content-hash cache; reprolint.sarif feeds CI's
 ## inline PR annotations.
 lint:
-	$(PYTHON) -m repro.analysis src --baseline reprolint_baseline.json \
+	$(PYTHON) -m repro.analysis src benchmarks --baseline reprolint_baseline.json \
 		--cache --sarif reprolint.sarif
 
 ## Apply mechanically-safe autofixes (suffix renames, zero guards),
 ## then report what remains.
 lint-fix:
-	$(PYTHON) -m repro.analysis src --baseline reprolint_baseline.json --fix
+	$(PYTHON) -m repro.analysis src benchmarks --baseline reprolint_baseline.json --fix
 
 ## Tier-1 tests with repro.obs audit mode on: every replay/adaptive
 ## result must reconcile against its cost ledger or the suite fails.

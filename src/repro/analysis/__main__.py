@@ -15,11 +15,18 @@ Beyond plain linting the CLI drives the v2 engine features:
   inline annotations.
 * ``--prune-baseline`` — drop stale baseline entries so the file only
   ever shrinks as violations are fixed.
+* ``--changed [BASE]`` — git-aware edit-loop mode: lint only the files
+  that differ from ``BASE`` (default ``HEAD``) plus untracked files,
+  running file-scope rules only (whole-program rules would misfire on a
+  partial file set).  The warm cache still replays unchanged findings,
+  but the run never writes the cache — a partial snapshot must not
+  overwrite the whole-tree one.
 """
 
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 from pathlib import Path
 
@@ -98,6 +105,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule ids to run (default: all)",
     )
     parser.add_argument(
+        "--changed", nargs="?", const="HEAD", default=None, metavar="BASE",
+        help="lint only files changed vs. the git ref BASE (default "
+        "HEAD) plus untracked files, restricted to file-scope rules; "
+        "reads the warm cache but never writes it",
+    )
+    parser.add_argument(
         "--strict", action="store_true",
         help="warnings and stale baseline entries also fail the run",
     )
@@ -152,6 +165,21 @@ def main(argv: list[str] | None = None) -> int:
             args.cache if args.cache.is_absolute() else root / args.cache
         )
 
+    cache_write = True
+    if args.changed is not None:
+        try:
+            changed = _changed_files(root, args.changed)
+        except (OSError, subprocess.CalledProcessError) as exc:
+            print(f"reprolint: --changed needs git: {exc}", file=sys.stderr)
+            return 2
+        paths = _restrict_to(changed, paths, root)
+        # A partial file set cannot feed whole-program rules (a graph
+        # built from two files would "prove" callers/callees absent),
+        # and its findings must never be persisted as if they were a
+        # whole-tree snapshot — replay from the cache, don't write it.
+        rules = [r for r in rules if r.scope == "file" and not r.needs_graph]
+        cache_write = False
+
     try:
         if args.fix or args.fix_suppress:
             from .fixers import fix_paths
@@ -180,13 +208,17 @@ def main(argv: list[str] | None = None) -> int:
                 file=out,
             )
 
+        baseline = load_baseline()
+        if args.changed is not None and baseline is not None:
+            baseline = _scoped_baseline(baseline, paths, root)
         result = run_lint(
             paths,
             root=root,
             rules=rules,
-            baseline=load_baseline(),
+            baseline=baseline,
             cache_path=cache_path,
             jobs=args.jobs,
+            cache_write=cache_write,
         )
     except FileNotFoundError as exc:
         print(f"reprolint: {exc}", file=sys.stderr)
@@ -231,6 +263,62 @@ def main(argv: list[str] | None = None) -> int:
     else:
         report_text(result, out, verbose=args.verbose)
     return result.exit_code(strict=args.strict)
+
+
+def _changed_files(root: Path, base: str) -> list[Path]:
+    """Absolute paths of ``*.py`` files changed vs. ``base`` + untracked.
+
+    ``--diff-filter=ACMR`` keeps added/copied/modified/renamed files and
+    drops deletions (nothing left to lint); untracked files come from
+    ``ls-files --others`` so a brand-new module is linted before its
+    first ``git add``.  Paths come back relative to the repo toplevel,
+    which may sit above ``root``.
+    """
+
+    def git(*argv: str) -> list[str]:
+        proc = subprocess.run(
+            ["git", "-C", str(root), *argv],
+            capture_output=True, text=True, check=True,
+        )
+        return [line for line in proc.stdout.splitlines() if line.strip()]
+
+    top = Path(git("rev-parse", "--show-toplevel")[0])
+    rels = set(
+        git("diff", "--name-only", "--diff-filter=ACMR", base, "--", "*.py")
+    )
+    rels |= set(
+        git("ls-files", "--others", "--exclude-standard", "--", "*.py")
+    )
+    return sorted(top / rel for rel in rels if (top / rel).is_file())
+
+
+def _restrict_to(
+    changed: list[Path], requested: list[Path], root: Path
+) -> list[Path]:
+    """Changed files that fall under one of the requested lint paths."""
+    bases = [
+        (p if p.is_absolute() else root / p).resolve() for p in requested
+    ]
+    out = []
+    for path in changed:
+        resolved = path.resolve()
+        for base in bases:
+            if resolved == base or base in resolved.parents:
+                out.append(path)
+                break
+    return out
+
+
+def _scoped_baseline(baseline: Baseline, paths: list[Path], root: Path):
+    """Baseline restricted to the linted files, so entries for files
+    outside the changed set don't all report as stale."""
+    linted = set()
+    for p in paths:
+        try:
+            linted.add(p.resolve().relative_to(root).as_posix())
+        except ValueError:
+            linted.add(p.as_posix())
+    return Baseline([e for e in baseline.entries if e.path in linted])
 
 
 def _kept_entries(baseline_path: Path, result):

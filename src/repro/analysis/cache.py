@@ -28,8 +28,13 @@ from typing import Dict, List, Optional, Sequence
 
 from .findings import Finding
 
-CACHE_VERSION = 2
+CACHE_VERSION = 3
 DEFAULT_CACHE_NAME = ".reprolint_cache.json"
+
+#: Analysis phases folded into the engine fingerprint.  Adding a phase
+#: (v3 added the escape analysis between graph and dataflow) bumps the
+#: fingerprint even if no package source happened to change on disk.
+ANALYSIS_PHASES = ("symbols", "graph", "escape", "dataflow")
 
 _fingerprint_memo: Dict[tuple, str] = {}
 
@@ -51,6 +56,7 @@ def engine_fingerprint(rule_ids: Sequence[str]) -> str:
             h.update(b"\x00")
             h.update(p.read_bytes())
         h.update(("\x00".join(key)).encode())
+        h.update(("\x00".join(ANALYSIS_PHASES)).encode())
         _fingerprint_memo[key] = h.hexdigest()
     return _fingerprint_memo[key]
 

@@ -134,6 +134,29 @@ ParamResolver = Callable[[str], Optional[Tuple[str, ...]]]
 
 _COMPARE_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
 
+#: Methods that change a container's contents in place: any of these on
+#: a tracked name drops its element facts (confident-or-absent).
+_CONTAINER_MUTATORS = frozenset(
+    {"append", "extend", "insert", "pop", "popitem", "remove", "clear",
+     "update", "setdefault", "sort", "reverse"}
+)
+
+
+def _const_index(node: ast.AST) -> Optional[object]:
+    """Literal int/str subscript index, including ``-1`` forms."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = node.operand
+        if isinstance(inner, ast.Constant) and isinstance(
+            inner.value, int
+        ) and not isinstance(inner.value, bool):
+            return -inner.value
+        return None
+    if isinstance(node, ast.Constant) and isinstance(
+        node.value, (int, str)
+    ) and not isinstance(node.value, bool):
+        return node.value
+    return None
+
 
 @dataclass
 class UnitIssue:
@@ -192,6 +215,12 @@ class ScopeAnalyzer:
         self.declared_return = declared_return
         self.fn_name = fn_name
         self.env: Dict[str, Optional[str]] = {}
+        #: Per-element facts of container-bound names: variable name →
+        #: {index or key: dimension}.  Seeded from list/tuple/dict
+        #: literals, grown by constant-index stores, read back through
+        #: constant-index subscripts and tuple unpacking — how payload
+        #: tuples cross call and process boundaries (``args[0]``).
+        self.containers: Dict[str, Dict[object, Optional[str]]] = {}
         self.issues: List[UnitIssue] = []
         self.return_dims: List[Optional[str]] = []
 
@@ -201,6 +230,30 @@ class ScopeAnalyzer:
             return self.env[name]
         return classify_name(name)
 
+    def _container_facts(
+        self, node: ast.AST
+    ) -> Optional[Dict[object, Optional[str]]]:
+        """Element dimensions of a container literal, or None."""
+        if isinstance(node, (ast.List, ast.Tuple)):
+            if any(isinstance(e, ast.Starred) for e in node.elts):
+                return None  # element alignment unknowable past a splat
+            n = len(node.elts)
+            facts: Dict[object, Optional[str]] = {}
+            for i, elt in enumerate(node.elts):
+                dim = self.infer(elt)
+                facts[i] = dim
+                facts[i - n] = dim  # negative-index alias
+            return facts
+        if isinstance(node, ast.Dict):
+            facts = {}
+            for key, value in zip(node.keys, node.values):
+                if isinstance(key, ast.Constant) and isinstance(
+                    key.value, (int, str)
+                ) and not isinstance(key.value, bool):
+                    facts[key.value] = self.infer(value)
+            return facts if facts else None
+        return None
+
     def infer(self, node: ast.AST) -> Optional[str]:
         """Dimension of an expression under the current environment."""
         if isinstance(node, ast.Name):
@@ -208,6 +261,12 @@ class ScopeAnalyzer:
         if isinstance(node, ast.Attribute):
             return classify_name(node.attr)
         if isinstance(node, ast.Subscript):
+            if isinstance(node.value, ast.Name):
+                facts = self.containers.get(node.value.id)
+                if facts is not None:
+                    idx = _const_index(node.slice)
+                    if idx is not None and idx in facts:
+                        return facts[idx]
             return self.infer(node.value)
         if isinstance(node, ast.Starred):
             return self.infer(node.value)
@@ -267,8 +326,15 @@ class ScopeAnalyzer:
                             f"comparison mixes {left} and {right}; one side "
                             "needs a repro.units conversion",
                         ))
-            elif isinstance(node, ast.Call) and self.param_resolver is not None:
-                self._check_call_args(node)
+            elif isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _CONTAINER_MUTATORS
+                    and isinstance(node.func.value, ast.Name)
+                ):
+                    self.containers.pop(node.func.value.id, None)
+                if self.param_resolver is not None:
+                    self._check_call_args(node)
 
     def _check_call_args(self, node: ast.Call) -> None:
         """Bind caller facts to the callee's parameter names.
@@ -339,17 +405,66 @@ class ScopeAnalyzer:
         else:
             self.env[name] = None
 
+    def _assign_target(
+        self, target: ast.expr, value: ast.expr, value_dim: Optional[str],
+        stmt: ast.stmt,
+    ) -> None:
+        if isinstance(target, ast.Name):
+            self._bind(target.id, value_dim, stmt)
+            facts = self._container_facts(value)
+            if facts is None and isinstance(value, ast.Name):
+                alias = self.containers.get(value.id)
+                facts = dict(alias) if alias is not None else None
+            if facts is not None:
+                self.containers[target.id] = facts
+            else:
+                self.containers.pop(target.id, None)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            if any(isinstance(t, ast.Starred) for t in target.elts):
+                return
+            if isinstance(value, (ast.Tuple, ast.List)) and len(
+                value.elts
+            ) == len(target.elts):
+                for t, v in zip(target.elts, value.elts):
+                    self._assign_target(t, v, self.infer(v), stmt)
+                return
+            facts = (
+                self.containers.get(value.id)
+                if isinstance(value, ast.Name)
+                else None
+            )
+            for i, t in enumerate(target.elts):
+                if isinstance(t, ast.Name):
+                    dim = facts.get(i) if facts is not None else None
+                    self._bind(t.id, dim, stmt)
+                    self.containers.pop(t.id, None)
+        elif isinstance(target, ast.Subscript) and isinstance(
+            target.value, ast.Name
+        ):
+            facts = self.containers.get(target.value.id)
+            if facts is not None:
+                idx = _const_index(target.slice)
+                if idx is not None:
+                    facts[idx] = value_dim
+                else:
+                    # Unknown slot: every element fact is now suspect.
+                    self.containers.pop(target.value.id, None)
+
     def _handle(self, stmt: ast.stmt) -> None:
         self._scan_expressions(stmt)
         if isinstance(stmt, ast.Assign):
             value_dim = self.infer(stmt.value)
             for target in stmt.targets:
-                if isinstance(target, ast.Name):
-                    self._bind(target.id, value_dim, stmt)
+                self._assign_target(target, stmt.value, value_dim, stmt)
         elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
             if isinstance(stmt.target, ast.Name):
-                self._bind(stmt.target.id, self.infer(stmt.value), stmt)
-        elif isinstance(stmt, ast.AugAssign) and isinstance(
+                self._assign_target(
+                    stmt.target, stmt.value, self.infer(stmt.value), stmt
+                )
+        elif isinstance(stmt, ast.AugAssign):
+            if isinstance(stmt.target, ast.Name):
+                self.containers.pop(stmt.target.id, None)
+        if isinstance(stmt, ast.AugAssign) and isinstance(
             stmt.op, (ast.Add, ast.Sub)
         ):
             target_dim = (
@@ -433,6 +548,169 @@ def analyze_scope(
         if dim is not None:
             analyzer.env[param] = dim
     return analyzer.run(body)
+
+
+# ----------------------------------------------------------------------
+# entropy taint: seed derivations for R012
+# ----------------------------------------------------------------------
+
+#: Calls whose dotted leaf is pure process entropy.  ``perf_counter``/
+#: ``monotonic`` are *allowed* as wall timers (R001 leaves them alone)
+#: but are entropy the moment they feed a seed.
+ENTROPY_CALL_LEAVES = frozenset(
+    {"getpid", "perf_counter", "monotonic", "urandom", "uuid4",
+     "uuid1", "token_bytes", "token_hex"}
+)
+
+#: Call leaves that consume a seed: their arguments must derive from
+#: the job payload (parameters/constants), never from process state.
+SEED_SINK_LEAVES = frozenset({"default_rng", "SeedSequence"})
+
+
+@dataclass
+class EntropyIssue:
+    """One nondeterministic seed derivation inside a function."""
+
+    lineno: int
+    col: int
+    source: str  # human-readable description of the entropy source
+
+
+class EntropyTaint:
+    """Tracks process-scoped entropy flowing into seed derivations.
+
+    The payload contract of DESIGN.md §12 is that every worker job is a
+    pure function of its ``(seed, cell)`` arguments.  This pass walks
+    one function with a clean/tainted environment: parameters and
+    constants are clean, reads of *mutated* module globals and entropy
+    calls (clocks, pids, os randomness) are tainted, assignments
+    propagate — including through container literals and subscripts, so
+    ``seed = args[0]`` stays clean while ``state[0]`` of
+    ``state = [time.time()]`` does not.  An issue fires only when a
+    seed sink (``default_rng``/``SeedSequence``) consumes a provably
+    tainted expression, or is called with no seed at all (OS entropy).
+    """
+
+    def __init__(
+        self,
+        params: Tuple[str, ...] = (),
+        process_globals: Optional[set] = None,
+        clock_attrs: Optional[frozenset] = None,
+    ) -> None:
+        self.bound = set(params)  # locally bound, currently clean
+        self.tainted: set = set()
+        self.process_globals = process_globals or set()
+        self.clock_attrs = clock_attrs or frozenset()
+        self.issues: List[EntropyIssue] = []
+
+    # ------------------------------------------------------------------
+    def expr_entropy(self, node: ast.AST) -> Optional[str]:
+        """Why ``node`` is process entropy, or None when clean."""
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+                if sub.id in self.tainted:
+                    return f"{sub.id!r} (derived from process state)"
+                if sub.id not in self.bound and sub.id in self.process_globals:
+                    return f"mutated module global {sub.id!r}"
+            elif isinstance(sub, ast.Call):
+                dotted = _call_name(sub)
+                leaf = dotted.rsplit(".", 1)[-1]
+                if dotted in self.clock_attrs or leaf in ENTROPY_CALL_LEAVES:
+                    return f"{dotted}()"
+        return None
+
+    def _check_sinks(self, stmt: ast.stmt) -> None:
+        # Only this statement's own expressions: nested block bodies are
+        # re-walked by run() *after* their preceding bindings apply, so
+        # scanning them here would consult a stale environment.
+        own: List[ast.AST] = []
+        for fname, value in ast.iter_fields(stmt):
+            if fname in ("body", "orelse", "finalbody", "handlers"):
+                continue
+            if isinstance(value, ast.AST):
+                own.append(value)
+            elif isinstance(value, list):
+                own.extend(v for v in value if isinstance(v, ast.AST))
+        for sub in (s for expr in own for s in ast.walk(expr)):
+            if not isinstance(sub, ast.Call):
+                continue
+            dotted = _call_name(sub)
+            if dotted.rsplit(".", 1)[-1] not in SEED_SINK_LEAVES:
+                continue
+            if not sub.args and not sub.keywords:
+                self.issues.append(EntropyIssue(
+                    sub.lineno, sub.col_offset,
+                    f"{dotted}() with no seed draws OS entropy",
+                ))
+                continue
+            for arg in (*sub.args, *[kw.value for kw in sub.keywords]):
+                source = self.expr_entropy(arg)
+                if source is not None:
+                    self.issues.append(EntropyIssue(
+                        arg.lineno, arg.col_offset,
+                        f"seed derived from {source}",
+                    ))
+
+    def _bind_target(self, target: ast.expr, dirty: Optional[str]) -> None:
+        if isinstance(target, ast.Name):
+            self.bound.add(target.id)
+            if dirty is not None:
+                self.tainted.add(target.id)
+            else:
+                self.tainted.discard(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind_target(elt, dirty)
+
+    def run(self, body: List[ast.stmt]) -> "EntropyTaint":
+        for stmt in body:
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            self._check_sinks(stmt)
+            if isinstance(stmt, ast.Assign):
+                dirty = self.expr_entropy(stmt.value)
+                for target in stmt.targets:
+                    self._bind_target(target, dirty)
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                self._bind_target(stmt.target, self.expr_entropy(stmt.value))
+            elif isinstance(stmt, ast.AugAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                if self.expr_entropy(stmt.value) is not None:
+                    self.tainted.add(stmt.target.id)
+                self.bound.add(stmt.target.id)
+            elif isinstance(stmt, ast.For) and isinstance(
+                stmt.iter, ast.expr
+            ):
+                self._bind_target(stmt.target, self.expr_entropy(stmt.iter))
+            for inner in _block_bodies(stmt):
+                self.run(inner)
+        return self
+
+
+def analyze_entropy(
+    fn_node: ast.AST,
+    process_globals: Optional[set] = None,
+    clock_attrs: Optional[frozenset] = None,
+) -> List[EntropyIssue]:
+    """Nondeterministic seed derivations of one function body."""
+    if not isinstance(fn_node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return []
+    args = fn_node.args
+    params = tuple(
+        a.arg for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+    )
+    extra = tuple(
+        v.arg for v in (args.vararg, args.kwarg) if v is not None
+    )
+    taint = EntropyTaint(
+        params=params + extra,
+        process_globals=process_globals,
+        clock_attrs=clock_attrs,
+    )
+    return taint.run(fn_node.body).issues
 
 
 def infer_return_dim(

@@ -95,6 +95,7 @@ class LintContext:
 
     root: Path
     project: Optional["object"] = None  # ProjectGraph when a rule needs it
+    escape: Optional["object"] = None  # EscapeAnalysis when a rule needs it
     units: Dict[str, ModuleUnit] = field(default_factory=dict)  # by relpath
     _file_cache: Dict[str, Optional[str]] = field(default_factory=dict)
 
@@ -229,12 +230,15 @@ def run_lint(
     baseline: Optional[Baseline] = None,
     cache_path: Optional[Path] = None,
     jobs: Optional[int] = None,
+    cache_write: bool = True,
 ) -> LintResult:
     """Lint ``paths`` and reconcile findings against ``baseline``.
 
     ``cache_path`` attaches the incremental cache (:mod:`.cache`);
     ``jobs`` bounds the read/parse thread pool (default: cpu count,
-    capped at 8).
+    capped at 8).  ``cache_write=False`` replays from a warm cache but
+    never persists the run — used by ``--changed``, whose partial file
+    set must not overwrite a whole-tree snapshot.
     """
     from .cache import (
         LintCache,
@@ -319,6 +323,10 @@ def run_lint(
         from .project import ProjectGraph
 
         ctx.project = ProjectGraph.build(units)
+        if any(getattr(r, "needs_escape", False) for r in rules):
+            from .escape import EscapeAnalysis
+
+            ctx.escape = EscapeAnalysis.build(ctx.project)
 
     per_file: Dict[str, dict] = {
         relpath: {"hash": hashes[relpath], "file_findings": [], "project_findings": []}
@@ -371,7 +379,7 @@ def run_lint(
         raw.extend(entry["file_findings"])
         raw.extend(entry["project_findings"])
 
-    if cache is not None:
+    if cache is not None and cache_write:
         cache.save(
             fingerprint,
             proj_fp,

@@ -41,6 +41,12 @@ class Rule:
       (or sibling files through ``ctx.read_project_file``) sets this so
       the incremental cache re-runs it when *any* file changes, not
       just its own.  Project-scope rules imply it.
+    * ``needs_escape`` — the rule additionally consumes the escape
+      analysis (:mod:`.escape`): the engine builds ``ctx.escape`` on
+      top of the graph only when some selected rule asks for it.
+
+    ``help_uri`` is surfaced as the SARIF rule descriptor's ``helpUri``
+    so CI code-scanning annotations link back to the rule's docs.
     """
 
     id: str = ""
@@ -49,10 +55,12 @@ class Rule:
     description: str = ""
     scope: str = "file"  # "file" | "project"
     uses_project: bool = False
+    needs_escape: bool = False
+    help_uri: str = ""
 
     @property
     def needs_graph(self) -> bool:
-        return self.scope == "project" or self.uses_project
+        return self.scope == "project" or self.uses_project or self.needs_escape
 
     def applies(self, relpath: str) -> bool:
         """Whether this rule runs on the module at ``relpath`` (posix)."""
@@ -131,3 +139,14 @@ def in_packages(relpath: str, packages: tuple[str, ...]) -> bool:
         if part == "repro" and i + 1 < len(parts) and parts[i + 1] in packages:
             return True
     return False
+
+
+def in_benchmarks(relpath: str) -> bool:
+    """True when ``relpath`` lies under a ``benchmarks/`` directory.
+
+    The benchmark suite is figure-generation and measurement code: it
+    must stay deterministic (R001/R012) and honest about comparisons
+    and failures (R005/R006), but it is not library API — docstring
+    unit contracts (R003/R009) do not apply there.
+    """
+    return relpath.startswith("benchmarks/") or "/benchmarks/" in relpath

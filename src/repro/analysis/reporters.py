@@ -117,6 +117,11 @@ def report_sarif(
             "name": type(rule).__name__ if rule else rid,
             "shortDescription": {"text": rule.title if rule else rid},
             "fullDescription": {"text": rule.description if rule else ""},
+            "helpUri": (
+                (rule.help_uri or "DESIGN.md#9-static-analysis")
+                if rule
+                else "DESIGN.md#9-static-analysis"
+            ),
             "defaultConfiguration": {
                 "level": rule.severity.value if rule else "error"
             },

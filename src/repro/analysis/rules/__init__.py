@@ -14,4 +14,8 @@ from . import (  # noqa: F401
     r007_ledger_audit,
     r008_registry,
     r009_doc_units,
+    r010_worker_globals,
+    r011_shm_lifecycle,
+    r012_stateless_jobs,
+    r013_pid_guards,
 )

@@ -14,10 +14,12 @@ import ast
 from typing import Iterator
 
 from ..findings import Finding
-from ..registry import Rule, in_packages, register
+from ..registry import Rule, in_benchmarks, in_packages, register
 
-#: Packages whose results must be a pure function of the seed.
-DETERMINISTIC_PACKAGES = ("core", "execution", "market", "mpi")
+#: Packages whose results must be a pure function of the seed.  The
+#: experiments entrypoints joined in v3: they drive figure generation,
+#: so an unseeded draw there silently invalidates published numbers.
+DETERMINISTIC_PACKAGES = ("core", "execution", "market", "mpi", "experiments")
 
 #: ``np.random`` attributes that are part of the *seeded* API.
 ALLOWED_NP_RANDOM = frozenset(
@@ -51,15 +53,18 @@ class NoUnseededRandomness(Rule):
     id = "R001"
     title = "no unseeded randomness or wall-clock reads in deterministic code"
     description = (
-        "src/repro/{core,execution,market,mpi} must draw randomness only "
-        "through seeded np.random.Generator plumbing. Bans the stdlib "
-        "'random' module, np.random global functions (np.random.seed/"
-        "rand/normal/...), time.time and datetime.now — all of which "
-        "break the seeded bit-identity contract of the replay kernels."
+        "src/repro/{core,execution,market,mpi,experiments} and "
+        "benchmarks/ must draw randomness only through seeded "
+        "np.random.Generator plumbing. Bans the stdlib 'random' module, "
+        "np.random global functions (np.random.seed/rand/normal/...), "
+        "time.time and datetime.now — all of which break the seeded "
+        "bit-identity contract of the replay kernels."
     )
 
     def applies(self, relpath: str) -> bool:
-        return in_packages(relpath, DETERMINISTIC_PACKAGES)
+        return in_packages(relpath, DETERMINISTIC_PACKAGES) or in_benchmarks(
+            relpath
+        )
 
     def check(self, unit, ctx) -> Iterator[Finding]:
         for node in ast.walk(unit.tree):

@@ -35,7 +35,7 @@ from ..dataflow import (
     suffix_dim,
 )
 from ..findings import Finding
-from ..registry import Rule, register
+from ..registry import Rule, in_benchmarks, register
 
 
 def _graph_resolver(graph, caller_info, memo: Dict[tuple, Optional[str]]):
@@ -89,6 +89,9 @@ class UnitsDiscipline(Rule):
         "callee parameter they bind to. Rates like price_per_hour "
         "classify as unknown and never fire."
     )
+
+    def applies(self, relpath: str) -> bool:
+        return not in_benchmarks(relpath)
 
     def check(self, unit, ctx) -> Iterator[Finding]:
         graph = ctx.project

@@ -28,7 +28,7 @@ from typing import Iterator, Optional
 
 from ..dataflow import HOURS, MONEY, SECONDS, suffix_dim
 from ..findings import Finding
-from ..registry import Rule, register
+from ..registry import Rule, in_benchmarks, register
 
 _WORD_DIMS = (
     (re.compile(r"\b(dollars?|usd)\b", re.I), MONEY),
@@ -83,6 +83,9 @@ class DocstringUnits(Rule):
         "units (rates, conversion helpers) is ambiguous and exempt; "
         "both sides must be confident for the rule to fire."
     )
+
+    def applies(self, relpath: str) -> bool:
+        return not in_benchmarks(relpath)
 
     def check(self, unit, ctx) -> Iterator[Finding]:
         for node in ast.walk(unit.tree):

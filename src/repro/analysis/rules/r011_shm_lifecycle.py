@@ -1,0 +1,300 @@
+"""R011 — shared-memory attach/create must reach a close/unlink path.
+
+``multiprocessing.shared_memory`` has no garbage-collected safety net:
+a created block that never reaches ``unlink()`` leaks ``/dev/shm``
+pages for the machine's lifetime, an attached block that never reaches
+``close()`` pins dead pool pages in every long-lived worker, and —
+bpo-38119 — CPython registers every *attach* with the resource tracker
+as if the attacher owned the block, so a worker that does not
+explicitly unregister will unlink the owner's live blocks at exit.
+
+The rule checks each module that creates or attaches blocks:
+
+* every ``SharedMemory(create=True, ...)`` binding must reach both a
+  ``.close()`` and a ``.unlink()`` somewhere in the module — directly
+  on the binding, or through the containers it is stored into
+  (``self._blocks.append(shm)`` transfers the obligation to
+  ``_blocks``, satisfied by ``for shm in self._blocks: shm.close();
+  shm.unlink()``);
+* every ``SharedMemory(name=...)`` attach must likewise reach a
+  ``.close()``, and its enclosing function must carry the bpo-38119
+  guard: a comparison against the handle's tracker pid plus a
+  ``resource_tracker.unregister`` call;
+* every directly-constructed ``SharedTracePool`` must reach a
+  ``.close()`` the same way (its close both closes and unlinks).
+
+Resolution is name-based and module-wide, in keeping with the
+under-approximation contract: a binding that escapes through a
+``return`` or into an unrecognised call is assumed handled by the
+caller and produces no finding.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set
+
+from ..escape import walk_shallow
+from ..findings import Finding
+from ..registry import Rule, in_packages, register
+from ..symbols import dotted_name
+
+SHM_PACKAGES = ("core", "execution", "market", "mpi")
+
+#: Constructor leaves that produce a parent-owned segment set.
+_POOL_CTORS = frozenset({"SharedTracePool"})
+
+_TRACKER_NAME_RE = re.compile(r"(?i)tracker")
+
+
+@dataclass
+class _Creation:
+    """One SharedMemory/pool construction bound to a local name."""
+
+    node: ast.Call
+    kind: str  # "create" | "attach" | "pool"
+    binding: str
+    fn: ast.AST  # enclosing function (or module) node
+
+
+@dataclass
+class _FnFacts:
+    """Name-level release facts of one function."""
+
+    aliases: Dict[str, Set[str]] = field(default_factory=dict)
+    closed: Set[str] = field(default_factory=set)
+    unlinked: Set[str] = field(default_factory=set)
+
+
+def _shm_kind(call: ast.Call) -> Optional[str]:
+    leaf = dotted_name(call.func).rsplit(".", 1)[-1]
+    if leaf in _POOL_CTORS:
+        return "pool"
+    if leaf != "SharedMemory":
+        return None
+    for kw in call.keywords:
+        if kw.arg == "create":
+            truthy = isinstance(kw.value, ast.Constant) and bool(kw.value.value)
+            return "create" if truthy else "attach"
+    return "attach"
+
+
+def _base_names(expr: ast.AST) -> Set[str]:
+    """Every Name id and Attribute leaf mentioned in an expression."""
+    out: Set[str] = set()
+    for sub in ast.walk(expr):
+        if isinstance(sub, ast.Name):
+            out.add(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            out.add(sub.attr)
+    return out
+
+
+def _expand(name: str, aliases: Dict[str, Set[str]]) -> Set[str]:
+    """``name`` plus everything it aliases, transitively (bounded)."""
+    out: Set[str] = set()
+    frontier = [name]
+    while frontier:
+        cand = frontier.pop()
+        if cand in out:
+            continue
+        out.add(cand)
+        frontier.extend(aliases.get(cand, ()))
+    return out
+
+
+def _function_facts(fn_node: ast.AST) -> _FnFacts:
+    facts = _FnFacts()
+    for node in walk_shallow(fn_node):
+        if isinstance(node, ast.Assign):
+            bases = _base_names(node.value)
+            for target in node.targets:
+                for sub in ast.walk(target):
+                    if isinstance(sub, ast.Name):
+                        facts.aliases.setdefault(sub.id, set()).update(bases)
+        elif isinstance(node, ast.For):
+            bases = _base_names(node.iter)
+            for sub in ast.walk(node.target):
+                if isinstance(sub, ast.Name):
+                    facts.aliases.setdefault(sub.id, set()).update(bases)
+        elif isinstance(node, ast.withitem) and node.optional_vars is not None:
+            bases = _base_names(node.context_expr)
+            for sub in ast.walk(node.optional_vars):
+                if isinstance(sub, ast.Name):
+                    facts.aliases.setdefault(sub.id, set()).update(bases)
+    for node in walk_shallow(fn_node):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            continue
+        if node.func.attr not in ("close", "unlink", "shutdown"):
+            continue
+        receiver = node.func.value
+        names: Set[str] = set()
+        if isinstance(receiver, ast.Name):
+            names = _expand(receiver.id, facts.aliases)
+        elif isinstance(receiver, ast.Attribute):
+            names = {receiver.attr} | _base_names(receiver)
+        if node.func.attr == "unlink":
+            facts.unlinked.update(names)
+        else:
+            facts.closed.update(names)
+    return facts
+
+
+def _functions_and_module(tree: ast.Module):
+    """Every function node, plus the module body as a pseudo-function."""
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _creations_in(fn_node: ast.AST) -> Iterator[_Creation]:
+    for node in walk_shallow(fn_node):
+        if not isinstance(node, ast.Assign):
+            continue
+        for call in ast.walk(node.value):
+            if not isinstance(call, ast.Call):
+                continue
+            kind = _shm_kind(call)
+            if kind is None:
+                continue
+            binding = ""
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                binding = target.id
+            elif isinstance(target, ast.Attribute):
+                binding = target.attr
+            if binding:
+                yield _Creation(call, kind, binding, fn_node)
+
+
+def _obligations(
+    creation: _Creation, fn_node: ast.AST
+) -> Optional[Set[str]]:
+    """Names responsible for releasing the creation, or None if the
+    binding escapes (returned / passed onward) and the caller owns it."""
+    obligations = {creation.binding}
+    for _ in range(8):  # fixpoint over container transfers
+        grew = False
+        for node in walk_shallow(fn_node):
+            if isinstance(node, ast.Return) and node.value is not None:
+                if _base_names(node.value) & obligations:
+                    return None
+            elif isinstance(node, ast.Call):
+                fn_name = dotted_name(node.func)
+                leaf = fn_name.rsplit(".", 1)[-1]
+                arg_names: Set[str] = set()
+                for arg in node.args:
+                    if isinstance(arg, ast.Name):
+                        arg_names.add(arg.id)
+                if not (arg_names & obligations):
+                    continue
+                if leaf in ("append", "add", "insert", "setdefault") and (
+                    isinstance(node.func, ast.Attribute)
+                ):
+                    receiver = _base_names(node.func.value)
+                    if not receiver <= obligations:
+                        obligations |= receiver
+                        grew = True
+                else:
+                    return None  # handed to an unknown callee
+            elif isinstance(node, ast.Assign):
+                value_names: Set[str] = set()
+                for sub in ast.walk(node.value):
+                    if isinstance(sub, ast.Name):
+                        value_names.add(sub.id)
+                if not (value_names & obligations):
+                    continue
+                for target in node.targets:
+                    bases = _base_names(target)
+                    if not bases <= obligations:
+                        obligations |= bases
+                        grew = True
+        if not grew:
+            break
+    return obligations
+
+
+def _has_tracker_guard(fn_node: ast.AST) -> bool:
+    has_compare = False
+    has_unregister = False
+    for node in walk_shallow(fn_node):
+        if isinstance(node, ast.Compare):
+            sides = [node.left, *node.comparators]
+            for side in sides:
+                if any(
+                    _TRACKER_NAME_RE.search(n) for n in _base_names(side)
+                ):
+                    has_compare = True
+        elif isinstance(node, ast.Call):
+            if dotted_name(node.func).rsplit(".", 1)[-1] == "unregister":
+                has_unregister = True
+    return has_compare and has_unregister
+
+
+@register
+class ShmLifecycle(Rule):
+    id = "R011"
+    title = "shared-memory attach/create paired with close/unlink"
+    description = (
+        "Every SharedMemory(create=True) binding must reach both "
+        ".close() and .unlink() somewhere in its module (directly or "
+        "through the container it is stored into); every "
+        "SharedMemory(name=...) attach must reach .close() and its "
+        "enclosing function must carry the bpo-38119 guard (a "
+        "tracker-pid comparison plus resource_tracker.unregister), or "
+        "workers unlink the owner's live blocks at exit; a directly "
+        "constructed SharedTracePool must reach .close(). Bindings "
+        "that escape via return are the caller's responsibility."
+    )
+    help_uri = "DESIGN.md#13-process-safety-escape-analysis"
+
+    def applies(self, relpath: str) -> bool:
+        return in_packages(relpath, SHM_PACKAGES)
+
+    def check(self, unit, ctx) -> Iterator[Finding]:
+        fns = list(_functions_and_module(unit.tree))
+        creations: List[_Creation] = []
+        closed: Set[str] = set()
+        unlinked: Set[str] = set()
+        for fn in fns:
+            creations.extend(_creations_in(fn))
+            facts = _function_facts(fn)
+            closed |= facts.closed
+            unlinked |= facts.unlinked
+        for creation in creations:
+            obligations = _obligations(creation, creation.fn)
+            if obligations is None:
+                continue
+            line, col = creation.node.lineno, creation.node.col_offset
+            if not (obligations & closed):
+                what = {
+                    "create": "created SharedMemory block",
+                    "attach": "attached SharedMemory block",
+                    "pool": "SharedTracePool",
+                }[creation.kind]
+                yield self.finding(
+                    unit, line, col,
+                    f"{what} bound to {creation.binding!r} never reaches "
+                    "a .close(); long-lived processes pin its pages "
+                    "forever",
+                )
+            elif creation.kind == "create" and not (obligations & unlinked):
+                yield self.finding(
+                    unit, line, col,
+                    f"SharedMemory block bound to {creation.binding!r} is "
+                    "closed but never .unlink()ed; /dev/shm leaks the "
+                    "segment for the machine's lifetime",
+                )
+            if creation.kind == "attach" and not _has_tracker_guard(
+                creation.fn
+            ):
+                yield self.finding(
+                    unit, line, col,
+                    "SharedMemory attach without the bpo-38119 guard: "
+                    "compare the owner's tracker pid and call "
+                    "resource_tracker.unregister, or this process will "
+                    "unlink the owner's live blocks at exit",
+                )

@@ -1,0 +1,123 @@
+"""R012 — submitted job payloads must be stateless (pure in (seed, cell)).
+
+The bit-identity contract of the parallel layer (DESIGN.md §12) is that
+every worker job is a pure function of its submitted arguments: the
+parent pre-draws randomness, ships ``(seed, cell)`` payloads, and
+gathers in submission order.  Any process-scoped input — a wall-clock
+read, the unseeded global RNG, a seed derived from a mutated module
+global or from OS entropy — silently breaks that at ``jobs=N`` while
+passing every serial test.
+
+On top of the escape analysis' worker-reachable closure this rule
+checks, in *any* package (worker reachability is the scope):
+
+* reads of the banned clocks (R001's table — ``time.time``,
+  ``datetime.now``, ...; ``time.perf_counter`` stays allowed as a wall
+  timer);
+* the stdlib ``random`` module and unseeded ``np.random`` globals,
+  resolved through the module's import table;
+* seed derivations (:func:`~..dataflow.analyze_entropy`): a
+  ``default_rng``/``SeedSequence`` call consuming process entropy
+  (clocks, pids, mutated module globals) or no seed at all — payload
+  arguments, including container-unpacked ones (``args[0]``), are
+  clean.
+
+Inside the deterministic packages a clock/RNG hit may double with R001;
+that is intentional — the inline disable must then answer for both the
+determinism *and* the process-safety exemption.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..dataflow import analyze_entropy
+from ..escape import walk_shallow
+from ..findings import Finding
+from ..registry import Rule, register
+from ..symbols import dotted_name
+from .r001_randomness import ALLOWED_NP_RANDOM, BANNED_CLOCK_ATTRS
+
+
+@register
+class StatelessJobs(Rule):
+    id = "R012"
+    title = "worker job payloads are pure functions of their arguments"
+    scope = "project"
+    needs_escape = True
+    description = (
+        "Every function reachable from a WorkerPool.submit/run_ordered/"
+        "map or executor-initializer boundary must be a pure function "
+        "of its submitted arguments: no banned wall-clock reads, no "
+        "stdlib random / unseeded np.random globals, and no seed "
+        "derivations (default_rng/SeedSequence) consuming clocks, pids, "
+        "mutated module globals or OS entropy. Applies wherever the "
+        "code is worker-reachable, beyond R001's package scope."
+    )
+    help_uri = "DESIGN.md#13-process-safety-escape-analysis"
+
+    def check_project(self, ctx) -> Iterator[Finding]:
+        escape = getattr(ctx, "escape", None)
+        graph = ctx.project
+        if escape is None or graph is None:
+            return
+        written_memo = {}
+        for key in sorted(escape.worker_reachable):
+            info = graph.functions.get(key)
+            syms = graph.modules.get(key[0]) if info else None
+            if info is None or syms is None:
+                continue
+            unit = ctx.units.get(syms.relpath)
+            if unit is None:
+                continue
+            entry = escape.entry_name(key)
+            where = f"{info.qualname}() is worker-reachable (entry {entry})"
+
+            for node in walk_shallow(info.node):
+                if isinstance(node, ast.Attribute):
+                    dotted = dotted_name(node)
+                    if dotted in BANNED_CLOCK_ATTRS:
+                        yield self.finding(
+                            unit, node.lineno, node.col_offset,
+                            f"{where} but reads the wall clock via "
+                            f"{dotted}(); results now differ run to run "
+                            "— thread times through the job payload",
+                        )
+                        continue
+                    head, _, attr = dotted.rpartition(".")
+                    resolved = syms.imports.get(head.split(".")[0], head)
+                    if resolved in ("numpy.random", "np.random") or head in (
+                        "np.random", "numpy.random"
+                    ):
+                        if attr not in ALLOWED_NP_RANDOM:
+                            yield self.finding(
+                                unit, node.lineno, node.col_offset,
+                                f"{where} but uses the unseeded global "
+                                f"stream {dotted}; derive a Generator "
+                                "from the job's seed argument",
+                            )
+                elif isinstance(node, ast.Call):
+                    dotted = dotted_name(node.func)
+                    head = dotted.split(".", 1)[0]
+                    if head and syms.imports.get(head) == "random":
+                        yield self.finding(
+                            unit, node.lineno, node.col_offset,
+                            f"{where} but calls stdlib {dotted}(); the "
+                            "global random state is per-process — use a "
+                            "Generator derived from the job's seed",
+                        )
+
+            module = info.module
+            if module not in written_memo:
+                written_memo[module] = escape.written_globals(module)
+            for issue in analyze_entropy(
+                info.node,
+                process_globals=written_memo[module],
+                clock_attrs=BANNED_CLOCK_ATTRS,
+            ):
+                yield self.finding(
+                    unit, issue.lineno, issue.col,
+                    f"{where} but {issue.source}; workers must seed only "
+                    "from the submitted payload",
+                )

@@ -1,0 +1,128 @@
+"""R013 — pool/shm singleton reads go through a pid-stamp guard.
+
+A module-level executor, pool registry or shm slot survives ``fork()``
+into every child process — but the *resources* it names (worker
+processes, file descriptors, tracker registrations) belong to the
+parent.  A child that reads the inherited slot and treats it as its own
+will join the parent's workers, double-close its segments, or serve the
+parent's warm state as if it were local.  The repo's convention
+(``WorkerPool.shared``, ``shared_trace_handle``) is a pid stamp: every
+read of the singleton happens behind an ``os.getpid()`` comparison
+against the recorded owner pid, and a mismatch re-initialises instead
+of reusing.
+
+This rule generalises R002's clearer requirement from *lifecycle* to
+*access*: any function that reads a module-level pool/executor
+singleton (the same name/value heuristics as R002) must contain both a
+``getpid()`` call and a pid-named comparison — unless the function is
+teardown, i.e. a clearer registered via ``register_cache_clearer`` (or
+one it delegates to), which may touch the slot unguarded because
+closing an inherited reference is itself pid-guarded at the resource.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Set
+
+from ..escape import clearer_function_names, walk_shallow
+from ..findings import Finding
+from ..registry import Rule, in_packages, register
+from ..symbols import dotted_name, extract_symbols
+from .r002_caches import _POOL_NAME_RE, _is_poolish_value
+
+POOL_PACKAGES = ("core", "execution", "market", "mpi")
+
+_PID_NAME_RE = re.compile(r"(?i)pid")
+
+
+def _module_singletons(tree: ast.Module) -> Set[str]:
+    """Module-level pool/executor singleton names (R002's heuristics)."""
+    out: Set[str] = set()
+    for node in tree.body:
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        value = node.value
+        if value is None:
+            continue
+        targets = (
+            node.targets if isinstance(node, ast.Assign) else [node.target]
+        )
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if _POOL_NAME_RE.search(target.id) and _is_poolish_value(value):
+                out.add(target.id)
+    return out
+
+
+def _has_pid_guard(fn_node: ast.AST) -> bool:
+    """A ``getpid()`` call plus a pid-named comparison, both present."""
+    has_getpid = False
+    has_compare = False
+    for node in walk_shallow(fn_node):
+        if isinstance(node, ast.Call):
+            if dotted_name(node.func).rsplit(".", 1)[-1] == "getpid":
+                has_getpid = True
+        elif isinstance(node, ast.Compare):
+            for side in (node.left, *node.comparators):
+                for sub in ast.walk(side):
+                    name = ""
+                    if isinstance(sub, ast.Name):
+                        name = sub.id
+                    elif isinstance(sub, ast.Attribute):
+                        name = sub.attr
+                    if name and _PID_NAME_RE.search(name):
+                        has_compare = True
+    return has_getpid and has_compare
+
+
+@register
+class PidGuardedSingletons(Rule):
+    id = "R013"
+    title = "module pool/shm singletons read behind a pid-stamp check"
+    description = (
+        "A function reading a module-level pool/executor singleton "
+        "(name says pool/executor, value is a None slot, registry dict "
+        "or pool-factory call) must contain an os.getpid() call and a "
+        "pid-named comparison, so a forked child re-initialises instead "
+        "of adopting the parent's workers/segments. Registered clearers "
+        "(and functions they delegate to) are teardown and exempt."
+    )
+    help_uri = "DESIGN.md#13-process-safety-escape-analysis"
+
+    def applies(self, relpath: str) -> bool:
+        return in_packages(relpath, POOL_PACKAGES)
+
+    def check(self, unit, ctx) -> Iterator[Finding]:
+        singletons = _module_singletons(unit.tree)
+        if not singletons:
+            return
+        syms = extract_symbols(unit)
+        exempt = clearer_function_names(syms)
+        for info in syms.functions.values():
+            if info.qualname in exempt or info.name in exempt:
+                continue
+            reads = []
+            for node in walk_shallow(info.node):
+                if (
+                    isinstance(node, ast.Name)
+                    and isinstance(node.ctx, ast.Load)
+                    and node.id in singletons
+                ):
+                    reads.append(node)
+            if not reads or _has_pid_guard(info.node):
+                continue
+            reported: Set[str] = set()
+            for node in reads:
+                if node.id in reported:
+                    continue
+                reported.add(node.id)
+                yield self.finding(
+                    unit, node.lineno, node.col_offset,
+                    f"{info.qualname}() reads module singleton "
+                    f"{node.id!r} without a pid guard; after fork() the "
+                    "slot names the parent's resources — stamp the "
+                    "owner pid (os.getpid()) and compare before reuse",
+                )

@@ -78,7 +78,6 @@ ARTIFACT_MAX_BYTES_ENV = "REPRO_ARTIFACT_MAX_BYTES"
 #: showing up in profiles.
 _EVICT_EVERY_WRITES = 64
 
-# reprolint: disable=R002 -- process-lifetime memo: sources cannot change under a running interpreter, so clearing would only re-read them
 _FINGERPRINT_MEMO: Dict[str, str] = {}
 _STORE_MEMO: Dict[str, "ArtifactStore"] = {}
 
@@ -395,8 +394,15 @@ def get_store(config) -> Optional[ArtifactStore]:
 
 # reprolint: disable=R002 -- registered right here with the shared clearer
 def clear_store_handles() -> None:
-    """Drop memoised store handles (disk artifacts stay untouched)."""
+    """Drop memoised store handles and the engine fingerprint.
+
+    Disk artifacts stay untouched.  Clearing the fingerprint memo only
+    costs a re-hash on the next lookup — sources cannot change under a
+    running interpreter in any way that matters to imported code, so
+    the recomputed value is identical.
+    """
     _STORE_MEMO.clear()
+    _FINGERPRINT_MEMO.clear()
 
 
 register_cache_clearer(clear_store_handles)

@@ -281,10 +281,25 @@ def close_trace_pools() -> None:
     pool (their existing zero-copy mappings keep the pages alive); the
     next parent-side call simply rebuilds.
     """
+    global _POOL_REGISTRY_PID
     pools = list(_POOL_REGISTRY.values())
     _POOL_REGISTRY.clear()
+    # Reset the pid stamp with the registry: a cleared registry in the
+    # stamped owner process is indistinguishable from a fresh one, and
+    # leaving the stale stamp would skip the fork guard on next use.
+    _POOL_REGISTRY_PID = -1
     for pool in pools:
         pool.close()
 
 
+def _drop_attached() -> None:
+    """Close every worker-side attached mapping (tests, teardown).
+
+    The empty pool id matches nothing, so :func:`_evict_superseded`
+    treats every cached attach as superseded and releases it.
+    """
+    _evict_superseded("")
+
+
 register_cache_clearer(close_trace_pools)
+register_cache_clearer(_drop_attached)

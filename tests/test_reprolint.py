@@ -106,10 +106,28 @@ class TestR001Randomness:
         result = lint_snippet(
             tmp_path,
             "import random\n",
-            relpath="src/repro/experiments/mod.py",
+            relpath="src/repro/obs/mod.py",
             select=["R001"],
         )
         assert result.findings == []
+
+    def test_experiments_in_scope(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            "import random\n",
+            relpath="src/repro/experiments/mod.py",
+            select=["R001"],
+        )
+        assert [f.rule for f in result.findings] == ["R001"]
+
+    def test_benchmarks_in_scope(self, tmp_path):
+        result = lint_snippet(
+            tmp_path,
+            "import random\n",
+            relpath="benchmarks/perf/mod.py",
+            select=["R001"],
+        )
+        assert [f.rule for f in result.findings] == ["R001"]
 
     def test_inline_suppression(self, tmp_path):
         result = lint_snippet(
@@ -695,7 +713,7 @@ class TestFramework:
         rules = get_rules()
         assert [r.id for r in rules] == [
             "R001", "R002", "R003", "R004", "R005", "R006",
-            "R007", "R008", "R009",
+            "R007", "R008", "R009", "R010", "R011", "R012", "R013",
         ]
         for rule in rules:
             assert rule.title and rule.description
