@@ -15,10 +15,12 @@ lint:
 	$(PYTHON) -m repro.analysis src benchmarks --baseline reprolint_baseline.json \
 		--cache --sarif reprolint.sarif
 
-## Apply mechanically-safe autofixes (suffix renames, zero guards),
-## then report what remains.
+## Apply mechanically-safe autofixes (suffix renames, zero guards,
+## sorted() wraps) and scaffold TODO-marked inline suppressions for
+## whatever remains — every TODO must be justified before review.
 lint-fix:
-	$(PYTHON) -m repro.analysis src benchmarks --baseline reprolint_baseline.json --fix
+	$(PYTHON) -m repro.analysis src benchmarks --baseline reprolint_baseline.json \
+		--fix --fix-suppress
 
 ## Tier-1 tests with repro.obs audit mode on: every replay/adaptive
 ## result must reconcile against its cost ledger or the suite fails.

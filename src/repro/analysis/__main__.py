@@ -15,12 +15,17 @@ Beyond plain linting the CLI drives the v2 engine features:
   inline annotations.
 * ``--prune-baseline`` — drop stale baseline entries so the file only
   ever shrinks as violations are fixed.
-* ``--changed [BASE]`` — git-aware edit-loop mode: lint only the files
-  that differ from ``BASE`` (default ``HEAD``) plus untracked files,
-  running file-scope rules only (whole-program rules would misfire on a
-  partial file set).  The warm cache still replays unchanged findings,
-  but the run never writes the cache — a partial snapshot must not
-  overwrite the whole-tree one.
+* ``--changed [BASE]`` — git-aware edit-loop mode: report findings for
+  the files that differ from ``BASE`` (default ``HEAD``) plus untracked
+  files.  The *whole* tree is still analysed — the project graph and
+  the summary fixpoint see every module, so interprocedural rules stay
+  sound — and the scope only filters reporting: file-scope findings in
+  the changed files, project-scope findings in the changed files plus
+  every module connected to them through the import graph (an edit to a
+  callee re-reports the drift it causes in its callers).  The warm
+  cache replays unchanged work (including per-SCC summaries), but the
+  run never writes the cache — a scoped result set must not overwrite
+  the whole-tree snapshot.
 """
 
 from __future__ import annotations
@@ -106,9 +111,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--changed", nargs="?", const="HEAD", default=None, metavar="BASE",
-        help="lint only files changed vs. the git ref BASE (default "
-        "HEAD) plus untracked files, restricted to file-scope rules; "
-        "reads the warm cache but never writes it",
+        help="report findings only for files changed vs. the git ref "
+        "BASE (default HEAD) plus untracked files and, for project "
+        "rules, their import-graph neighbourhood; the whole tree is "
+        "still analysed, and the warm cache is read but never written",
     )
     parser.add_argument(
         "--strict", action="store_true",
@@ -166,18 +172,34 @@ def main(argv: list[str] | None = None) -> int:
         )
 
     cache_write = True
+    changed_scope = None
+    fix_targets = paths
     if args.changed is not None:
         try:
             changed = _changed_files(root, args.changed)
         except (OSError, subprocess.CalledProcessError) as exc:
             print(f"reprolint: --changed needs git: {exc}", file=sys.stderr)
             return 2
-        paths = _restrict_to(changed, paths, root)
-        # A partial file set cannot feed whole-program rules (a graph
-        # built from two files would "prove" callers/callees absent),
-        # and its findings must never be persisted as if they were a
-        # whole-tree snapshot — replay from the cache, don't write it.
-        rules = [r for r in rules if r.scope == "file" and not r.needs_graph]
+        # The whole tree is still analysed (graph + summaries need every
+        # module); the scope only filters what gets *reported*.  The
+        # run's partial result set must never be persisted as if it
+        # were a whole-tree snapshot — replay from the cache, don't
+        # write it.
+        in_scope = _restrict_to(changed, paths, root)
+        changed_scope = set()
+        for p in in_scope:
+            try:
+                changed_scope.add(p.resolve().relative_to(root).as_posix())
+            except ValueError:
+                changed_scope.add(p.as_posix())
+        if not changed_scope:
+            print(
+                f"reprolint: no python files changed vs. {args.changed}; "
+                "nothing to report",
+                file=out,
+            )
+            return 0
+        fix_targets = in_scope
         cache_write = False
 
     try:
@@ -185,7 +207,7 @@ def main(argv: list[str] | None = None) -> int:
             from .fixers import fix_paths
 
             fix_report = fix_paths(
-                paths, root=root, rules=rules,
+                fix_targets, root=root, rules=rules,
                 baseline_factory=load_baseline,
                 suppress=args.fix_suppress,
             )
@@ -209,8 +231,6 @@ def main(argv: list[str] | None = None) -> int:
             )
 
         baseline = load_baseline()
-        if args.changed is not None and baseline is not None:
-            baseline = _scoped_baseline(baseline, paths, root)
         result = run_lint(
             paths,
             root=root,
@@ -219,6 +239,7 @@ def main(argv: list[str] | None = None) -> int:
             cache_path=cache_path,
             jobs=args.jobs,
             cache_write=cache_write,
+            changed_scope=changed_scope,
         )
     except FileNotFoundError as exc:
         print(f"reprolint: {exc}", file=sys.stderr)
@@ -307,18 +328,6 @@ def _restrict_to(
                 out.append(path)
                 break
     return out
-
-
-def _scoped_baseline(baseline: Baseline, paths: list[Path], root: Path):
-    """Baseline restricted to the linted files, so entries for files
-    outside the changed set don't all report as stale."""
-    linted = set()
-    for p in paths:
-        try:
-            linted.add(p.resolve().relative_to(root).as_posix())
-        except ValueError:
-            linted.add(p.as_posix())
-    return Baseline([e for e in baseline.entries if e.path in linted])
 
 
 def _kept_entries(baseline_path: Path, result):

@@ -28,13 +28,14 @@ from typing import Dict, List, Optional, Sequence
 
 from .findings import Finding
 
-CACHE_VERSION = 3
+CACHE_VERSION = 4
 DEFAULT_CACHE_NAME = ".reprolint_cache.json"
 
 #: Analysis phases folded into the engine fingerprint.  Adding a phase
-#: (v3 added the escape analysis between graph and dataflow) bumps the
-#: fingerprint even if no package source happened to change on disk.
-ANALYSIS_PHASES = ("symbols", "graph", "escape", "dataflow")
+#: (v3 added the escape analysis, v4 the interprocedural summary
+#: fixpoint) bumps the fingerprint even if no package source happened
+#: to change on disk.
+ANALYSIS_PHASES = ("symbols", "graph", "escape", "dataflow", "summaries")
 
 _fingerprint_memo: Dict[tuple, str] = {}
 
@@ -80,11 +81,18 @@ class LintCache:
         self.project_fp: str = ""
         self.deps: Dict[str, Optional[str]] = {}
         self.files: Dict[str, dict] = {}
+        #: Third tier: SCC content key → serialized function summaries
+        #: (:mod:`.summaries`).  Keys hash member sources plus callee
+        #: SCC keys, so an edit re-summarizes only the SCCs that can
+        #: observe it.
+        self.summaries: Dict[str, list] = {}
         self.loaded = False
 
     # ------------------------------------------------------------------
     @classmethod
     def load(cls, path: Path) -> "LintCache":
+        """Fail-open: an unreadable, corrupt or version-skewed cache
+        file degrades to an always-cold run, never an error."""
         cache = cls(path)
         try:
             doc = json.loads(Path(path).read_text(encoding="utf-8"))
@@ -96,6 +104,7 @@ class LintCache:
         cache.project_fp = doc.get("project_fingerprint", "")
         cache.deps = dict(doc.get("deps", {}))
         cache.files = dict(doc.get("files", {}))
+        cache.summaries = dict(doc.get("summaries", {}))
         cache.loaded = True
         return cache
 
@@ -105,13 +114,16 @@ class LintCache:
         project_fp: str,
         deps: Dict[str, Optional[str]],
         files: Dict[str, dict],
+        summaries: Optional[Dict[str, list]] = None,
     ) -> None:
+        """Fail-open: a read-only tree degrades to always-cold."""
         doc = {
             "version": CACHE_VERSION,
             "fingerprint": fingerprint,
             "project_fingerprint": project_fp,
             "deps": deps,
             "files": files,
+            "summaries": summaries if summaries is not None else {},
         }
         try:
             self.path.write_text(
@@ -129,9 +141,14 @@ class LintCache:
         return None
 
     def deps_unchanged(self, root: Path) -> bool:
+        """Fail-open: a dependency that vanishes between the ``is_file``
+        probe and the read counts as changed (cold run), not a crash."""
         for relpath, recorded in self.deps.items():
             p = root / relpath
-            current = content_hash(p.read_bytes()) if p.is_file() else None
+            try:
+                current = content_hash(p.read_bytes()) if p.is_file() else None
+            except OSError:
+                return False
             if current != recorded:
                 return False
         return True

@@ -142,6 +142,24 @@ _CONTAINER_MUTATORS = frozenset(
 )
 
 
+def self_attr_key(node: ast.AST) -> Optional[str]:
+    """``"self.x"`` for a plain instance-field reference, else None.
+
+    Only single-level ``self.<field>`` accesses produce facts —
+    ``self.a.b`` would need an alias analysis to be sound, so it stays
+    unknown (confident-or-absent).  The string key lets instance fields
+    share the same environment and container tables as locals: the
+    field lattice is literally the element lattice under longer keys.
+    """
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return f"self.{node.attr}"
+    return None
+
+
 def _const_index(node: ast.AST) -> Optional[object]:
     """Literal int/str subscript index, including ``-1`` forms."""
     if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
@@ -230,6 +248,13 @@ class ScopeAnalyzer:
             return self.env[name]
         return classify_name(name)
 
+    @staticmethod
+    def _container_key(node: ast.AST) -> Optional[str]:
+        """Environment key of a container-capable reference, or None."""
+        if isinstance(node, ast.Name):
+            return node.id
+        return self_attr_key(node)
+
     def _container_facts(
         self, node: ast.AST
     ) -> Optional[Dict[object, Optional[str]]]:
@@ -259,10 +284,14 @@ class ScopeAnalyzer:
         if isinstance(node, ast.Name):
             return self.lookup(node.id)
         if isinstance(node, ast.Attribute):
+            key = self_attr_key(node)
+            if key is not None and key in self.env:
+                return self.env[key]
             return classify_name(node.attr)
         if isinstance(node, ast.Subscript):
-            if isinstance(node.value, ast.Name):
-                facts = self.containers.get(node.value.id)
+            ckey = self._container_key(node.value)
+            if ckey is not None:
+                facts = self.containers.get(ckey)
                 if facts is not None:
                     idx = _const_index(node.slice)
                     if idx is not None and idx in facts:
@@ -330,9 +359,10 @@ class ScopeAnalyzer:
                 if (
                     isinstance(node.func, ast.Attribute)
                     and node.func.attr in _CONTAINER_MUTATORS
-                    and isinstance(node.func.value, ast.Name)
                 ):
-                    self.containers.pop(node.func.value.id, None)
+                    ckey = self._container_key(node.func.value)
+                    if ckey is not None:
+                        self.containers.pop(ckey, None)
                 if self.param_resolver is not None:
                     self._check_call_args(node)
 
@@ -385,12 +415,18 @@ class ScopeAnalyzer:
             and value_dim is not None
             and value_dim != declared
         ):
-            new_name = _rename_for(name, value_dim)
+            # Instance fields ("self.x" keys) are API-visible attributes:
+            # a rename hint would be unsafe outside this class, so the
+            # finding carries no autofix for them.
+            fix = None
+            if "." not in name:
+                fix = {"op": "rename", "name": name,
+                       "to": _rename_for(name, value_dim)}
             self.issues.append(UnitIssue(
                 "assign-suffix", node.lineno, node.col_offset,
                 f"{name!r} declares {declared} by suffix but is assigned a "
                 f"{value_dim}-dimensioned value",
-                fix={"op": "rename", "name": name, "to": new_name},
+                fix=fix,
             ))
             # Trust the declared suffix downstream so one drift is one
             # finding, not a cascade at every later use.
@@ -409,16 +445,18 @@ class ScopeAnalyzer:
         self, target: ast.expr, value: ast.expr, value_dim: Optional[str],
         stmt: ast.stmt,
     ) -> None:
-        if isinstance(target, ast.Name):
-            self._bind(target.id, value_dim, stmt)
+        tkey = self._container_key(target)
+        if tkey is not None:
+            self._bind(tkey, value_dim, stmt)
             facts = self._container_facts(value)
-            if facts is None and isinstance(value, ast.Name):
-                alias = self.containers.get(value.id)
+            if facts is None:
+                skey = self._container_key(value)
+                alias = self.containers.get(skey) if skey is not None else None
                 facts = dict(alias) if alias is not None else None
             if facts is not None:
-                self.containers[target.id] = facts
+                self.containers[tkey] = facts
             else:
-                self.containers.pop(target.id, None)
+                self.containers.pop(tkey, None)
         elif isinstance(target, (ast.Tuple, ast.List)):
             if any(isinstance(t, ast.Starred) for t in target.elts):
                 return
@@ -438,17 +476,18 @@ class ScopeAnalyzer:
                     dim = facts.get(i) if facts is not None else None
                     self._bind(t.id, dim, stmt)
                     self.containers.pop(t.id, None)
-        elif isinstance(target, ast.Subscript) and isinstance(
-            target.value, ast.Name
-        ):
-            facts = self.containers.get(target.value.id)
+        elif isinstance(target, ast.Subscript):
+            skey = self._container_key(target.value)
+            if skey is None:
+                return
+            facts = self.containers.get(skey)
             if facts is not None:
                 idx = _const_index(target.slice)
                 if idx is not None:
                     facts[idx] = value_dim
                 else:
                     # Unknown slot: every element fact is now suspect.
-                    self.containers.pop(target.value.id, None)
+                    self.containers.pop(skey, None)
 
     def _handle(self, stmt: ast.stmt) -> None:
         self._scan_expressions(stmt)
@@ -457,13 +496,13 @@ class ScopeAnalyzer:
             for target in stmt.targets:
                 self._assign_target(target, stmt.value, value_dim, stmt)
         elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
-            if isinstance(stmt.target, ast.Name):
-                self._assign_target(
-                    stmt.target, stmt.value, self.infer(stmt.value), stmt
-                )
+            self._assign_target(
+                stmt.target, stmt.value, self.infer(stmt.value), stmt
+            )
         elif isinstance(stmt, ast.AugAssign):
-            if isinstance(stmt.target, ast.Name):
-                self.containers.pop(stmt.target.id, None)
+            tkey = self._container_key(stmt.target)
+            if tkey is not None:
+                self.containers.pop(tkey, None)
         if isinstance(stmt, ast.AugAssign) and isinstance(
             stmt.op, (ast.Add, ast.Sub)
         ):
@@ -537,12 +576,27 @@ def analyze_scope(
     declared_return: Optional[str] = None,
     fn_name: str = "",
     param_resolver: Optional[ParamResolver] = None,
+    self_env: Optional[Dict[str, Optional[str]]] = None,
+    self_containers: Optional[Dict[str, Dict[object, Optional[str]]]] = None,
 ) -> ScopeAnalyzer:
-    """Analyse one scope body; returns the finished analyzer."""
+    """Analyse one scope body; returns the finished analyzer.
+
+    ``self_env`` / ``self_containers`` seed the environment with
+    per-class instance-field facts (``"self.x"`` keys) aggregated by
+    :mod:`.summaries` — how ``__init__`` assignments become confident
+    facts inside every other method of the class.  The method body
+    still updates them flow-sensitively as it reassigns fields.
+    """
     analyzer = ScopeAnalyzer(
         resolver=resolver, declared_return=declared_return, fn_name=fn_name,
         param_resolver=param_resolver,
     )
+    if self_env:
+        analyzer.env.update(self_env)
+    if self_containers:
+        analyzer.containers.update(
+            {key: dict(facts) for key, facts in self_containers.items()}
+        )
     for param in params:
         dim = classify_name(param)
         if dim is not None:
@@ -560,6 +614,18 @@ def analyze_scope(
 ENTROPY_CALL_LEAVES = frozenset(
     {"getpid", "perf_counter", "monotonic", "urandom", "uuid4",
      "uuid1", "token_bytes", "token_hex"}
+)
+
+#: Dotted wall-clock reads that make results run-dependent.  Defined
+#: here (not in R001, which re-exports it) because every entropy
+#: consumer — R001's syntactic ban, R012's worker contract, R014's
+#: lineage rule and the summary fixpoint — must agree on what a clock
+#: is; leaves alone don't work since ``history.today`` is not a clock.
+BANNED_CLOCK_ATTRS = frozenset(
+    {"time.time", "time.time_ns", "datetime.now", "datetime.utcnow",
+     "datetime.today", "date.today", "datetime.datetime.now",
+     "datetime.datetime.utcnow", "datetime.datetime.today",
+     "datetime.date.today"}
 )
 
 #: Call leaves that consume a seed: their arguments must derive from
@@ -596,11 +662,32 @@ class EntropyTaint:
         params: Tuple[str, ...] = (),
         process_globals: Optional[set] = None,
         clock_attrs: Optional[frozenset] = None,
+        call_resolver: Optional[Callable[[str], Optional[str]]] = None,
+        sink_param_resolver: Optional[
+            Callable[[str], Optional[Tuple[Tuple[str, ...], frozenset]]]
+        ] = None,
+        tainted_fields: Optional[frozenset] = None,
     ) -> None:
         self.bound = set(params)  # locally bound, currently clean
         self.tainted: set = set()
         self.process_globals = process_globals or set()
-        self.clock_attrs = clock_attrs or frozenset()
+        self.clock_attrs = (
+            BANNED_CLOCK_ATTRS if clock_attrs is None else clock_attrs
+        )
+        #: Interprocedural hooks, fed by the summary fixpoint
+        #: (:mod:`.summaries`).  ``call_resolver(dotted)`` describes why
+        #: a call's *return value* is entropy (the callee's summary says
+        #: so), ``sink_param_resolver(dotted)`` yields the callee's
+        #: parameter names plus the subset that transitively reach a
+        #: seed sink, and ``tainted_fields`` holds ``"self.x"`` keys the
+        #: enclosing class assigns from process state in some method.
+        self.call_resolver = call_resolver
+        self.sink_param_resolver = sink_param_resolver
+        self.tainted_fields = tainted_fields or frozenset()
+        self.entropy_return = False
+        #: ``"self.x"`` → True when some assignment to the field in this
+        #: body was entropy-tainted (read back by the class-facts join).
+        self.field_writes: Dict[str, bool] = {}
         self.issues: List[EntropyIssue] = []
 
     # ------------------------------------------------------------------
@@ -612,11 +699,19 @@ class EntropyTaint:
                     return f"{sub.id!r} (derived from process state)"
                 if sub.id not in self.bound and sub.id in self.process_globals:
                     return f"mutated module global {sub.id!r}"
+            elif isinstance(sub, ast.Attribute):
+                key = self_attr_key(sub)
+                if key is not None and key in self.tainted_fields:
+                    return f"instance field {key!r} (assigned from process state)"
             elif isinstance(sub, ast.Call):
                 dotted = _call_name(sub)
                 leaf = dotted.rsplit(".", 1)[-1]
                 if dotted in self.clock_attrs or leaf in ENTROPY_CALL_LEAVES:
                     return f"{dotted}()"
+                if self.call_resolver is not None:
+                    why = self.call_resolver(dotted)
+                    if why is not None:
+                        return why
         return None
 
     def _check_sinks(self, stmt: ast.stmt) -> None:
@@ -636,6 +731,7 @@ class EntropyTaint:
                 continue
             dotted = _call_name(sub)
             if dotted.rsplit(".", 1)[-1] not in SEED_SINK_LEAVES:
+                self._check_transitive_sink(sub, dotted)
                 continue
             if not sub.args and not sub.keywords:
                 self.issues.append(EntropyIssue(
@@ -651,6 +747,48 @@ class EntropyTaint:
                         f"seed derived from {source}",
                     ))
 
+    def _check_transitive_sink(self, sub: ast.Call, dotted: str) -> None:
+        """Entropy passed to a callee parameter that reaches a seed sink.
+
+        This is the interprocedural half of the sink check: the summary
+        fixpoint records, per callee, which parameters flow (through any
+        number of further calls) into a ``default_rng``/``SeedSequence``
+        argument, so ``kernel(seed=time.monotonic())`` fires here even
+        though the sink itself lives hops away.
+        """
+        if self.sink_param_resolver is None or not dotted:
+            return
+        resolved = self.sink_param_resolver(dotted)
+        if resolved is None:
+            return
+        params, sink_params = resolved
+        if not sink_params:
+            return
+        if params and params[0] in ("self", "cls") and isinstance(
+            sub.func, ast.Attribute
+        ):
+            params = params[1:]
+        bindings: List[Tuple[str, ast.expr]] = []
+        for pname, arg in zip(params, sub.args):
+            if isinstance(arg, ast.Starred):
+                break
+            bindings.append((pname, arg))
+        named = set(params)
+        for kw in sub.keywords:
+            if kw.arg is not None and kw.arg in named:
+                bindings.append((kw.arg, kw.value))
+        for pname, arg in bindings:
+            if pname not in sink_params:
+                continue
+            source = self.expr_entropy(arg)
+            if source is not None:
+                self.issues.append(EntropyIssue(
+                    arg.lineno, arg.col_offset,
+                    f"seed derived from {source} reaches a seed "
+                    f"derivation through parameter {pname!r} of "
+                    f"{dotted}()",
+                ))
+
     def _bind_target(self, target: ast.expr, dirty: Optional[str]) -> None:
         if isinstance(target, ast.Name):
             self.bound.add(target.id)
@@ -661,6 +799,12 @@ class EntropyTaint:
         elif isinstance(target, (ast.Tuple, ast.List)):
             for elt in target.elts:
                 self._bind_target(elt, dirty)
+        else:
+            key = self_attr_key(target)
+            if key is not None:
+                self.field_writes[key] = (
+                    self.field_writes.get(key, False) or dirty is not None
+                )
 
     def run(self, body: List[ast.stmt]) -> "EntropyTaint":
         for stmt in body:
@@ -685,30 +829,45 @@ class EntropyTaint:
                 stmt.iter, ast.expr
             ):
                 self._bind_target(stmt.target, self.expr_entropy(stmt.iter))
+            elif isinstance(stmt, ast.Return) and stmt.value is not None:
+                if self.expr_entropy(stmt.value) is not None:
+                    self.entropy_return = True
             for inner in _block_bodies(stmt):
                 self.run(inner)
         return self
+
+
+def all_param_names(fn_node: ast.AST) -> Tuple[str, ...]:
+    """Every parameter name of a def, including ``*args``/``**kwargs``."""
+    args = fn_node.args
+    params = tuple(
+        a.arg for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+    )
+    return params + tuple(
+        v.arg for v in (args.vararg, args.kwarg) if v is not None
+    )
 
 
 def analyze_entropy(
     fn_node: ast.AST,
     process_globals: Optional[set] = None,
     clock_attrs: Optional[frozenset] = None,
+    call_resolver: Optional[Callable[[str], Optional[str]]] = None,
+    sink_param_resolver: Optional[
+        Callable[[str], Optional[Tuple[Tuple[str, ...], frozenset]]]
+    ] = None,
+    tainted_fields: Optional[frozenset] = None,
 ) -> List[EntropyIssue]:
     """Nondeterministic seed derivations of one function body."""
     if not isinstance(fn_node, (ast.FunctionDef, ast.AsyncFunctionDef)):
         return []
-    args = fn_node.args
-    params = tuple(
-        a.arg for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
-    )
-    extra = tuple(
-        v.arg for v in (args.vararg, args.kwarg) if v is not None
-    )
     taint = EntropyTaint(
-        params=params + extra,
+        params=all_param_names(fn_node),
         process_globals=process_globals,
         clock_attrs=clock_attrs,
+        call_resolver=call_resolver,
+        sink_param_resolver=sink_param_resolver,
+        tainted_fields=tainted_fields,
     )
     return taint.run(fn_node.body).issues
 
@@ -716,12 +875,14 @@ def analyze_entropy(
 def infer_return_dim(
     fn_node: ast.AST,
     resolver: Optional[CallResolver] = None,
+    self_env: Optional[Dict[str, Optional[str]]] = None,
 ) -> Optional[str]:
     """Return dimension of a function: suffix first, else its returns.
 
     Used by the project-graph call resolver so that a helper without a
     unit suffix (``def elapsed(...): return end_hours - start_hours``)
-    still contributes a confident fact at its call sites.
+    still contributes a confident fact at its call sites.  ``self_env``
+    seeds instance-field facts for methods (see :func:`analyze_scope`).
     """
     if not isinstance(fn_node, (ast.FunctionDef, ast.AsyncFunctionDef)):
         return None
@@ -729,7 +890,9 @@ def infer_return_dim(
     if declared is not None:
         return declared
     params = tuple(a.arg for a in fn_node.args.args)
-    analysis = analyze_scope(fn_node.body, params=params, resolver=resolver)
+    analysis = analyze_scope(
+        fn_node.body, params=params, resolver=resolver, self_env=self_env
+    )
     dims = {d for d in analysis.return_dims}
     if len(dims) == 1 and None not in dims:
         return dims.pop()

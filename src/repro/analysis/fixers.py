@@ -1,7 +1,7 @@
 """Autofix pass for mechanically-safe findings (``--fix``).
 
 Rules attach structured hints to findings (``Finding.fix``); this module
-turns them into source edits.  Two hint shapes exist today:
+turns them into source edits.  Three hint shapes exist today:
 
 ``{"op": "rename", "name": N, "to": T}``
     from R003's assign-suffix check — a local variable whose unit suffix
@@ -17,6 +17,12 @@ turns them into source edits.  Two hint shapes exist today:
     from R005 — ``X == 0.0`` on a non-negative dimensioned quantity
     becomes ``X <= 0.0`` (and ``!=`` becomes ``>``), replacing only the
     operator token between the recorded columns.
+
+``{"op": "wrap-sorted", "line", "col", "end_col"}``
+    from R015 — a float reduction folding a provably unordered iterable
+    (set literal/call, dict view) has the iterable wrapped in
+    ``sorted(...)``: two pure insertions at the recorded span, refused
+    unless the span still parses as a set or call expression.
 
 The loop is **fix → rewrite → re-lint**, repeated until a pass applies
 nothing (bounded by ``max_passes``): idempotence is not argued from the
@@ -180,6 +186,36 @@ def _guard_edits(
     return [(line, col, old, fix["repl"])], None
 
 
+def _wrap_sorted_edits(
+    lines: List[str], finding: Finding
+) -> Tuple[List[Tuple[int, int, str, str]], Optional[str]]:
+    """Two insertion points wrapping an iterable span in ``sorted(...)``.
+
+    Insertions carry an empty ``old`` so :func:`_apply_points` validates
+    them trivially; drift protection comes from re-parsing the recorded
+    span and refusing unless it is still the set/call expression the
+    rule hinted at.
+    """
+    fix = finding.fix
+    line, col, end_col = fix["line"], fix["col"], fix["end_col"]
+    if not 1 <= line <= len(lines):
+        return [], "line out of range (stale hint)"
+    text = lines[line - 1]
+    if not 0 <= col < end_col <= len(text):
+        return [], "column span out of range (stale hint)"
+    segment = text[col:end_col]
+    try:
+        expr = ast.parse(segment, mode="eval").body
+    except SyntaxError:
+        return [], f"span is no longer one expression (saw {segment!r})"
+    if not isinstance(expr, (ast.Set, ast.SetComp, ast.Call)):
+        return [], "span is no longer a set or call expression (stale hint)"
+    return [
+        (line, col, "", "sorted("),
+        (line, end_col, "", ")"),
+    ], None
+
+
 def _apply_points(
     source: str, points: Sequence[Tuple[int, int, str, str]]
 ) -> Optional[str]:
@@ -246,6 +282,13 @@ def _one_pass(
                 batch, refusal = _guard_edits(lines, finding)
                 detail = (
                     f"'{batch[0][2]}' -> '{batch[0][3]}'"
+                    if refusal is None
+                    else refusal
+                )
+            elif op == "wrap-sorted":
+                batch, refusal = _wrap_sorted_edits(lines, finding)
+                detail = (
+                    "wrapped the iterable in sorted(...)"
                     if refusal is None
                     else refusal
                 )

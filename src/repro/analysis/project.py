@@ -22,6 +22,7 @@ from typing import (
     Callable,
     Dict,
     Iterable,
+    Iterator,
     List,
     Optional,
     Sequence,
@@ -171,3 +172,81 @@ class ProjectGraph:
         self, predicate: Callable[[FunctionInfo], bool]
     ) -> List[FunctionInfo]:
         return [f for f in self.functions.values() if predicate(f)]
+
+    # ------------------------------------------------------------------
+    # condensation
+    # ------------------------------------------------------------------
+    def sccs(self) -> Tuple[List[List[FuncKey]], Dict[FuncKey, int]]:
+        """Strongly connected components of the call graph.
+
+        Returns ``(components, component_of)`` where ``components`` is
+        in **reverse topological order** — every call edge leaving a
+        component points at an *earlier* entry in the list, so a single
+        forward sweep sees callees before callers.  This is the
+        evaluation order of the summary fixpoint (:mod:`.summaries`):
+        acyclic chains need exactly one visit per function, and only
+        genuinely mutually-recursive groups iterate.
+
+        Tarjan's algorithm, made iterative (an explicit work stack
+        instead of recursion) so pathological call chains cannot hit the
+        interpreter recursion limit.  Nodes are visited in sorted key
+        order, which makes the component order — and therefore the
+        content keys derived from it — deterministic across runs.
+        """
+        index: Dict[FuncKey, int] = {}
+        low: Dict[FuncKey, int] = {}
+        on_stack: Set[FuncKey] = set()
+        stack: List[FuncKey] = []
+        components: List[List[FuncKey]] = []
+        component_of: Dict[FuncKey, int] = {}
+        counter = [0]
+
+        def strongconnect(root: FuncKey) -> None:
+            # (node, iterator over remaining successors) work frames
+            work: List[Tuple[FuncKey, Iterator[FuncKey]]] = []
+            index[root] = low[root] = counter[0]
+            counter[0] += 1
+            stack.append(root)
+            on_stack.add(root)
+            work.append((root, iter(sorted(self.call_edges.get(root, ())))))
+            while work:
+                node, succs = work[-1]
+                advanced = False
+                for succ in succs:
+                    if succ not in self.functions:
+                        continue  # edge into a module we did not lint
+                    if succ not in index:
+                        index[succ] = low[succ] = counter[0]
+                        counter[0] += 1
+                        stack.append(succ)
+                        on_stack.add(succ)
+                        work.append(
+                            (succ, iter(sorted(self.call_edges.get(succ, ()))))
+                        )
+                        advanced = True
+                        break
+                    if succ in on_stack:
+                        low[node] = min(low[node], index[succ])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+                if low[node] == index[node]:
+                    component: List[FuncKey] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    component.sort()
+                    for member in component:
+                        component_of[member] = len(components)
+                    components.append(component)
+
+        for key in sorted(self.functions):
+            if key not in index:
+                strongconnect(key)
+        return components, component_of

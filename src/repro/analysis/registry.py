@@ -44,6 +44,10 @@ class Rule:
     * ``needs_escape`` — the rule additionally consumes the escape
       analysis (:mod:`.escape`): the engine builds ``ctx.escape`` on
       top of the graph only when some selected rule asks for it.
+    * ``needs_summaries`` — the rule consumes the interprocedural
+      fixpoint summaries (:mod:`.summaries`): the engine builds
+      ``ctx.summaries`` on top of the graph only on demand, and the
+      cache replays them per call-graph SCC.
 
     ``help_uri`` is surfaced as the SARIF rule descriptor's ``helpUri``
     so CI code-scanning annotations link back to the rule's docs.
@@ -56,11 +60,17 @@ class Rule:
     scope: str = "file"  # "file" | "project"
     uses_project: bool = False
     needs_escape: bool = False
+    needs_summaries: bool = False
     help_uri: str = ""
 
     @property
     def needs_graph(self) -> bool:
-        return self.scope == "project" or self.uses_project or self.needs_escape
+        return (
+            self.scope == "project"
+            or self.uses_project
+            or self.needs_escape
+            or self.needs_summaries
+        )
 
     def applies(self, relpath: str) -> bool:
         """Whether this rule runs on the module at ``relpath`` (posix)."""

@@ -39,6 +39,16 @@ def report_text(result: LintResult, out: IO[str], verbose: bool = False) -> None
         f"{len(result.stale_baseline)} stale baseline entr(y/ies)",
         file=out,
     )
+    stats = result.summary_stats
+    if stats:
+        print(
+            f"reprolint: summaries: {stats.get('functions', 0)} "
+            f"function(s) in {stats.get('sccs', 0)} SCC(s), "
+            f"{stats.get('replayed', 0)} replayed from cache, "
+            f"{stats.get('recomputed', 0)} recomputed "
+            f"({stats.get('fixpoint_s', 0.0):.3f}s fixpoint)",
+            file=out,
+        )
 
 
 def report_json(result: LintResult, out: IO[str]) -> None:
@@ -55,6 +65,8 @@ def report_json(result: LintResult, out: IO[str]) -> None:
             "stale": len(result.stale_baseline),
         },
     }
+    if result.summary_stats:
+        payload["summaries"] = result.summary_stats
     json.dump(payload, out, indent=2)
     out.write("\n")
 

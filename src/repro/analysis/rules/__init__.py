@@ -18,4 +18,7 @@ from . import (  # noqa: F401
     r011_shm_lifecycle,
     r012_stateless_jobs,
     r013_pid_guards,
+    r014_rng_lineage,
+    r015_ordered_reduction,
+    r016_fail_open,
 )

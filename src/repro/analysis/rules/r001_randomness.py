@@ -13,6 +13,7 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
+from ..dataflow import BANNED_CLOCK_ATTRS
 from ..findings import Finding
 from ..registry import Rule, in_benchmarks, in_packages, register
 
@@ -27,13 +28,9 @@ ALLOWED_NP_RANDOM = frozenset(
      "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937"}
 )
 
-#: Dotted wall-clock reads that make results run-dependent.
-BANNED_CLOCK_ATTRS = frozenset(
-    {"time.time", "time.time_ns", "datetime.now", "datetime.utcnow",
-     "datetime.today", "date.today", "datetime.datetime.now",
-     "datetime.datetime.utcnow", "datetime.datetime.today",
-     "datetime.date.today"}
-)
+# BANNED_CLOCK_ATTRS moved to ..dataflow (the summary fixpoint and
+# R012/R014 must agree with the syntactic ban); imported above and
+# still importable from here.
 
 
 def _dotted(node: ast.AST) -> str:

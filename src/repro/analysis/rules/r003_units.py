@@ -39,7 +39,7 @@ from ..registry import Rule, in_benchmarks, register
 
 
 def _graph_resolver(graph, caller_info, memo: Dict[tuple, Optional[str]]):
-    """Call resolver backed by the project graph, one callee level deep."""
+    """One-hop fallback resolver (kept for summary-less invocations)."""
 
     def resolve(name: str) -> Optional[str]:
         callee = None
@@ -77,14 +77,17 @@ class UnitsDiscipline(Rule):
     id = "R003"
     title = "no additions/comparisons mixing dollars, hours and seconds"
     uses_project = True  # callee return dims come from the project graph
+    needs_summaries = True  # v4: dims flow through arbitrarily deep chains
     description = (
         "Dataflow dimensional analysis over naming conventions "
         "(_usd/cost_ dollars, _hours hours, _s/_seconds seconds): "
         "dimensions propagate through assignments, augmented "
-        "assignments, returns and call results (resolved via the "
-        "project graph), and +, -, comparisons and += whose operands "
-        "confidently disagree are flagged, as are functions and "
-        "variables whose unit-suffixed name conflicts with their "
+        "assignments, returns, call results (resolved through the "
+        "interprocedural summary fixpoint, so facts cross arbitrarily "
+        "deep call chains) and instance fields (per-class self.x facts "
+        "seeded by __init__), and +, -, comparisons and += whose "
+        "operands confidently disagree are flagged, as are functions "
+        "and variables whose unit-suffixed name conflicts with their "
         "value, and call arguments whose dimension contradicts the "
         "callee parameter they bind to. Rates like price_per_hour "
         "classify as unknown and never fire."
@@ -116,7 +119,22 @@ class UnitsDiscipline(Rule):
                 )
             elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 info = by_node.get(id(node))
-                resolver = _graph_resolver(graph, info, memo)
+                summaries = ctx.summaries
+                self_env = self_containers = None
+                if summaries is not None and info is not None:
+                    resolver = summaries.dim_resolver(info)
+                    facts = summaries.class_facts_for(info)
+                    if facts is not None and info.is_method:
+                        self_env = {
+                            f"self.{f}": dim
+                            for f, dim in facts.fields_dim.items()
+                        }
+                        self_containers = {
+                            f"self.{f}": elems
+                            for f, elems in facts.field_containers.items()
+                        }
+                else:
+                    resolver = _graph_resolver(graph, info, memo)
                 params = tuple(a.arg for a in node.args.args)
                 yield from self._emit(
                     unit,
@@ -127,6 +145,8 @@ class UnitsDiscipline(Rule):
                         declared_return=suffix_dim(node.name),
                         fn_name=node.name,
                         param_resolver=_graph_param_resolver(graph, info),
+                        self_env=self_env,
+                        self_containers=self_containers,
                     ),
                 )
 

@@ -1,0 +1,165 @@
+"""R014 — rng seed lineage: every generator descends from an explicit seed.
+
+The bit-identity contracts (DESIGN.md §6–§8, §12) require every random
+stream in the reproduction to be derivable from the experiment's root
+seed: ``sim.rng.derive_seed`` hashes ``(root_seed, name)`` and the
+registry hands out named ``Generator`` streams from it.  R001 bans the
+unseeded *APIs* (stdlib ``random``, ``np.random`` globals) and R012
+checks worker-reachable code; this rule closes the remaining lineage
+gaps anywhere in the seeded packages:
+
+* **naked derivations** — ``default_rng()`` / ``SeedSequence()`` with
+  no argument draw OS entropy, which no replay can reproduce;
+* **entropy-fed seeds** — a seed argument provably derived from process
+  state (clocks, pids, ``os.urandom``; :class:`~..dataflow.
+  EntropyTaint`), *through any number of call hops*: the summary
+  fixpoint records which callee parameters transitively reach a
+  ``default_rng``/``SeedSequence`` sink and whether a callee's return
+  value carries entropy, so ``make_gen(seed=stamp())`` fires even when
+  both the sink and the entropy live in other functions;
+* **entropy in instance state** — a field assigned from process state
+  in one method (``self._salt = time.monotonic()``) taints seed
+  derivations reading it in *any* method, via the per-class field facts;
+* **module-level generator state** — ``_RNG = default_rng(...)`` at
+  module scope is a hidden stream shared by every importer: consumption
+  order (imports, threads, call interleavings) becomes part of the
+  seed lineage, so generators must live in function/instance scope and
+  be threaded explicitly (the ``sim.rng`` registry is the sanctioned
+  home for shared streams).
+
+Inside worker-reachable code a hit may double with R012; as with
+R001/R012, that is intentional — one inline disable must answer for
+both contracts.  All non-module findings keep the conservative
+confident-or-absent contract: unresolvable calls contribute nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from ..dataflow import EntropyTaint, SEED_SINK_LEAVES, analyze_entropy
+from ..findings import Finding
+from ..registry import Rule, in_benchmarks, in_packages, register
+
+#: Packages whose random streams must descend from the root seed.  The
+#: backtest harness and the rng plumbing itself join R001's set —
+#: a lineage break in ``sim.rng`` would poison every consumer.
+SEEDED_PACKAGES = (
+    "core", "execution", "market", "backtest", "sim", "experiments"
+)
+
+_REMEDY = (
+    "every stream must descend from the experiment's root seed "
+    "(sim.rng.derive_seed / RngRegistry)"
+)
+
+
+def _call_leaf(node: ast.Call) -> str:
+    fn = node.func
+    while isinstance(fn, ast.Attribute):
+        return fn.attr
+    return fn.id if isinstance(fn, ast.Name) else ""
+
+
+@register
+class RngSeedLineage(Rule):
+    id = "R014"
+    title = "random generators must descend from an explicit root seed"
+    scope = "project"
+    needs_summaries = True
+    description = (
+        "In src/repro/{core,execution,market,backtest,sim,experiments}, "
+        "every np.random.Generator must have explicit seed lineage: "
+        "default_rng()/SeedSequence() with no seed (OS entropy), seeds "
+        "derived from process state (clocks, pids, os.urandom) — "
+        "tracked through arbitrarily deep call chains and through "
+        "instance fields via the interprocedural summary fixpoint — "
+        "and module-level generator state (a hidden stream shared by "
+        "every importer) are all flagged."
+    )
+    help_uri = "DESIGN.md#14-interprocedural-summaries"
+
+    def check_project(self, ctx) -> Iterator[Finding]:
+        graph = ctx.project
+        summaries = ctx.summaries
+        if graph is None:
+            return
+        for relpath in sorted(graph.by_relpath):
+            if not in_packages(relpath, SEEDED_PACKAGES) or in_benchmarks(
+                relpath
+            ):
+                continue
+            unit = ctx.units.get(relpath)
+            if unit is None:
+                continue
+            syms = graph.by_relpath[relpath]
+
+            yield from self._module_state(unit)
+
+            # Module-scope derivations (rare, but a naked default_rng()
+            # at import time is the worst offender).
+            module_taint = EntropyTaint()
+            module_taint.run(unit.tree.body)
+            for issue in module_taint.issues:
+                yield self.finding(
+                    unit, issue.lineno, issue.col,
+                    f"at module scope, {issue.source}; {_REMEDY}",
+                )
+
+            for info in sorted(
+                syms.functions.values(), key=lambda i: i.qualname
+            ):
+                facts = (
+                    summaries.class_facts_for(info)
+                    if summaries is not None
+                    else None
+                )
+                issues = analyze_entropy(
+                    info.node,
+                    call_resolver=(
+                        summaries.entropy_resolver(info)
+                        if summaries is not None
+                        else None
+                    ),
+                    sink_param_resolver=(
+                        summaries.sink_resolver(info)
+                        if summaries is not None
+                        else None
+                    ),
+                    tainted_fields=(
+                        facts.entropy_fields
+                        if facts is not None
+                        else frozenset()
+                    ),
+                )
+                for issue in issues:
+                    yield self.finding(
+                        unit, issue.lineno, issue.col,
+                        f"in {info.qualname}(), {issue.source}; {_REMEDY}",
+                    )
+
+    def _module_state(self, unit) -> Iterator[Finding]:
+        """Module-level ``X = default_rng(...)`` / ``SeedSequence(...)``."""
+        for stmt in unit.tree.body:
+            value: ast.expr = None
+            if isinstance(stmt, ast.Assign):
+                value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                value = stmt.value
+            if value is None:
+                continue
+            calls: List[ast.Call] = [
+                sub for sub in ast.walk(value)
+                if isinstance(sub, ast.Call)
+                and _call_leaf(sub) in SEED_SINK_LEAVES
+            ]
+            for call in calls:
+                yield self.finding(
+                    unit, call.lineno, call.col_offset,
+                    f"module-level {_call_leaf(call)}(...) is a hidden "
+                    "stream shared by every importer — consumption order "
+                    "becomes part of the seed lineage; construct "
+                    "generators in function or instance scope and thread "
+                    "them explicitly",
+                )

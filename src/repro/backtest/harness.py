@@ -465,7 +465,9 @@ def _run_cell_task(
 
     ``shipped`` is either a :class:`SharedHistoryHandle` (the normal
     path: attach the registry's shm blocks, cached per worker) or a
-    pickled :class:`SpotPriceHistory` (the fail-open path).  The
+    pickled :class:`SpotPriceHistory` (the pickling fallback path).
+    The worker itself never degrades: a failed attach propagates to
+    the parent's gather, where :func:`run_backtest` recovers.  The
     worker's metrics registry is reset first and its snapshot returned,
     so the parent can fold per-cell planner/replay counters in exactly
     as the experiments runner does.
@@ -493,6 +495,12 @@ def run_backtest(env, manifest: BacktestManifest, jobs=None) -> BacktestReport:
     the persistent shared worker pool; results are gathered in grid
     order and every stream still derives from (seed, cell), so the
     report is bit-identical to ``jobs=1``.
+
+    The parallel plumbing is fail-open: a platform without shared
+    memory pickles the history into every task, and a worker whose
+    shm attach fails mid-run surfaces its OSError at the gather, which
+    recomputes the grid serially.  Either degradation is a counted
+    metric; the report itself is bit-identical on every path.
     """
     manifest.check_traces(env.history)
     if manifest.seed != env.seed:
@@ -527,20 +535,36 @@ def run_backtest(env, manifest: BacktestManifest, jobs=None) -> BacktestReport:
             metrics.inc("mc.shm_pool_unavailable")
             shipped = env.history
         pool = WorkerPool.shared(n_jobs)
-        with metrics.timer("backtest.parallel"):
-            gathered = pool.run_ordered(
-                _run_cell_task,
-                [
-                    (
-                        shipped, env.seed, env.config, manifest.n_samples,
-                        window, app, dl_name, problems[(app, dl_name)],
+        try:
+            with metrics.timer("backtest.parallel"):
+                gathered = pool.run_ordered(
+                    _run_cell_task,
+                    [
+                        (
+                            shipped, env.seed, env.config,
+                            manifest.n_samples, window, app, dl_name,
+                            problems[(app, dl_name)],
+                        )
+                        for window, app, dl_name in cells
+                    ],
+                )
+            for result, snapshot in gathered:
+                metrics.merge_snapshot(snapshot)
+                results.append(result)
+        except OSError:
+            # A worker lost the shm segment between the parent's probe
+            # and its own attach; every cell is a stateless derivation
+            # from (seed, cell), so recompute the grid serially.
+            metrics.inc("backtest.shm_attach_failed")
+            results = []
+            for window, app, dl_name in cells:
+                results.append(
+                    _run_cell(
+                        env.history, env.config, env.rng,
+                        manifest.n_samples, window, app, dl_name,
+                        problems[(app, dl_name)],
                     )
-                    for window, app, dl_name in cells
-                ],
-            )
-        for result, snapshot in gathered:
-            metrics.merge_snapshot(snapshot)
-            results.append(result)
+                )
     else:
         for window, app, dl_name in cells:
             results.append(

@@ -107,9 +107,17 @@ def engine_fingerprint() -> str:
             for p in sorted(root.rglob("*.py")):
                 if "__pycache__" in p.parts:
                     continue
+                try:
+                    data = p.read_bytes()
+                except OSError:
+                    # A source vanishing between the rglob and the read
+                    # (editable install being rebuilt) must not crash
+                    # planning: the resulting fingerprint simply differs,
+                    # which costs a recompute, never correctness.
+                    continue
                 h.update(p.relative_to(pkg).as_posix().encode())
                 h.update(b"\x00")
-                h.update(p.read_bytes())
+                h.update(data)
         _FINGERPRINT_MEMO["fp"] = h.hexdigest()
     return _FINGERPRINT_MEMO["fp"]
 
@@ -173,7 +181,13 @@ class ArtifactStore:
         return self.root / kind / key[:2] / f"{key}.npz"
 
     def load(self, kind: str, key: str) -> Optional[Dict[str, np.ndarray]]:
-        """The artifact's arrays, or ``None`` on any miss or damage."""
+        """The artifact's arrays, or ``None`` on any miss or damage.
+
+        Fail-open end to end: a missing file is a counted miss, a
+        truncated/corrupt/unreadable one is a counted error whose file
+        is dropped so the rebuild repairs the store — the caller only
+        ever sees ``None``.
+        """
         path = self.path_for(kind, key)
         metrics = obs.get_metrics()
         try:

@@ -166,6 +166,16 @@ def _replay_starts(
     billing: BillingPolicy = CONTINUOUS,
     account_storage: bool = False,
 ) -> list[RunResult]:
+    """Replay every start, fanning chunks out to worker processes.
+
+    The shared-memory shipping is fail-open twice over: a platform
+    that cannot provide shared memory falls back to pickling the
+    history into every chunk, and a worker whose attach fails mid-run
+    (the registry's segment vanished under it) surfaces its OSError at
+    the gather, which re-runs every chunk through the pickling path.
+    Results are byte-identical on every path (same arrays, same replay
+    code) and each degradation is a counted metric, never an error.
+    """
     n_jobs = resolve_jobs(jobs, int(starts.size))
     if n_jobs > 1:
         from .pool import WorkerPool
@@ -173,9 +183,7 @@ def _replay_starts(
         chunks = np.array_split(starts, n_jobs)
         # Ship the traces through the long-lived shared-memory registry
         # instead of re-pickling the history into every chunk (or
-        # rebuilding the blocks per call); fall back to pickling when
-        # the platform cannot provide shared memory.  Results are
-        # byte-identical either way (same arrays, same replay code).
+        # rebuilding the blocks per call).
         handle: Optional[SharedHistoryHandle] = None
         try:
             handle = shared_trace_handle(history)
@@ -185,22 +193,32 @@ def _replay_starts(
             handle = None
         pool = WorkerPool.shared(n_jobs)
         if handle is not None:
-            futures = [
-                pool.submit(
-                    _replay_chunk_shm, problem, decision, handle, chunk,
-                    horizon, semantics, billing, account_storage,
-                )
-                for chunk in chunks
-            ]
-        else:
-            futures = [
-                pool.submit(
-                    _replay_chunk, problem, decision, history, chunk,
-                    horizon, semantics, billing, account_storage,
-                )
-                for chunk in chunks
-            ]
-        results: list[RunResult] = []
+            try:
+                futures = [
+                    pool.submit(
+                        _replay_chunk_shm, problem, decision, handle,
+                        chunk, horizon, semantics, billing,
+                        account_storage,
+                    )
+                    for chunk in chunks
+                ]
+                results: list[RunResult] = []
+                for future in futures:  # submission order == start order
+                    results.extend(future.result())
+                return results
+            except OSError:
+                # A worker lost the segment between the parent's probe
+                # and its own attach; the replay itself is stateless,
+                # so recompute through the pickling path.
+                obs.get_metrics().inc("mc.shm_attach_failed")
+        futures = [
+            pool.submit(
+                _replay_chunk, problem, decision, history, chunk,
+                horizon, semantics, billing, account_storage,
+            )
+            for chunk in chunks
+        ]
+        results = []
         for future in futures:  # submission order == start order
             results.extend(future.result())
         return results

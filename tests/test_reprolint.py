@@ -714,6 +714,7 @@ class TestFramework:
         assert [r.id for r in rules] == [
             "R001", "R002", "R003", "R004", "R005", "R006",
             "R007", "R008", "R009", "R010", "R011", "R012", "R013",
+            "R014", "R015", "R016",
         ]
         for rule in rules:
             assert rule.title and rule.description

@@ -625,14 +625,16 @@ class TestChangedMode:
         )
         return tmp_path
 
-    def test_lints_only_changed_files(self, repo):
+    def test_reports_only_changed_files(self, repo):
+        # v4 contract: the *whole* tree is analysed (files_checked spans
+        # it) but only the changed files' findings are reported.
         (repo / "src/repro/core/b.py").write_text("import random\n")
         proc = self._run_cli(
             repo, "src", "--root", str(repo), "--changed", "HEAD",
             "--format", "json",
         )
         payload = json.loads(proc.stdout)
-        assert payload["files_checked"] == 1
+        assert payload["files_checked"] == 2
         assert [f["rule"] for f in payload["findings"]] == ["R001"]
         assert payload["findings"][0]["path"] == "src/repro/core/b.py"
         assert proc.returncode == 1
@@ -644,18 +646,17 @@ class TestChangedMode:
             "--format", "json",
         )
         payload = json.loads(proc.stdout)
-        assert payload["files_checked"] == 1
+        assert payload["files_checked"] == 3
         assert [f["rule"] for f in payload["findings"]] == ["R001"]
+        assert payload["findings"][0]["path"] == "src/repro/core/new.py"
 
-    def test_nothing_changed_is_clean(self, repo):
+    def test_nothing_changed_short_circuits(self, repo):
         proc = self._run_cli(
             repo, "src", "--root", str(repo), "--changed", "HEAD",
             "--format", "json",
         )
-        payload = json.loads(proc.stdout)
-        assert payload["files_checked"] == 0
-        assert payload["findings"] == []
         assert proc.returncode == 0
+        assert "no python files changed" in proc.stdout
 
     def test_changed_never_writes_the_cache(self, repo):
         (repo / "src/repro/core/b.py").write_text("import random\n")
